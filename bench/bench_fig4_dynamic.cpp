@@ -1,0 +1,103 @@
+// Fig. 4c / 4d — adaptivity under dynamic interference.
+//
+// The 18-node office deployment during work hours. Timeline: 7 min calm,
+// 5 min of 30% 802.15.4 jamming, 5 min calm, 5 min of 5% jamming, calm.
+// Fig. 4c runs Dimmer's DQN; Fig. 4d runs the PID baseline; static LWB
+// (N_TX = 3) is included for reference. For each controller the harness
+// prints the N_TX time series plus the paper's headline aggregates
+// (both ~99.3% reliable; Dimmer 12.3 ms vs PID 14.4 ms radio-on).
+#include <iostream>
+#include <memory>
+
+#include "baselines/pid.hpp"
+#include "bench/common.hpp"
+#include "core/controller.hpp"
+#include "core/protocol.hpp"
+#include "core/scenarios.hpp"
+#include "phy/topology.hpp"
+#include "rl/quantized.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace dimmer;
+
+namespace {
+const char* phase_at(double t_min) {
+  if (t_min < 7) return "calm";
+  if (t_min < 12) return "30% jam";
+  if (t_min < 17) return "calm";
+  if (t_min < 22) return "5% jam";
+  return "calm";
+}
+}  // namespace
+
+int main() {
+  phy::Topology topo = phy::make_office18_topology();
+  const sim::TimeUs origin = sim::hours(10);
+  const int rounds = 27 * 60 / 4;  // 27 minutes at 4 s rounds
+
+  phy::InterferenceField field;
+  core::add_office_ambient(field, topo);
+  core::add_dynamic_jamming(field, topo, phy::kControlChannel, origin);
+
+  rl::Mlp policy = bench::shared_policy();
+  core::PretrainedOptions popt;
+
+  struct Run {
+    const char* figure;
+    const char* name;
+  };
+  const Run runs[] = {{"Fig. 4c", "dimmer"},
+                      {"Fig. 4d", "pid"},
+                      {"(ref)", "lwb"}};
+
+  util::Table summary(
+      {"figure", "controller", "reliability", "radio-on [ms]", "mean N_TX"});
+
+  for (const Run& run : runs) {
+    std::unique_ptr<core::AdaptivityController> controller;
+    if (std::string(run.name) == "dimmer")
+      controller = std::make_unique<core::DqnController>(
+          rl::QuantizedMlp(policy), popt.features);
+    else if (std::string(run.name) == "pid")
+      controller = std::make_unique<baselines::PidController>();
+    else
+      controller = std::make_unique<core::StaticController>(3);
+
+    core::ProtocolConfig cfg;
+    cfg.start_time = origin;
+    core::DimmerNetwork net(topo, field, cfg, std::move(controller), 0, 3);
+    auto sources = bench::all_to_all_sources(topo);
+
+    std::cout << run.figure << " — " << run.name
+              << " under dynamic interference\n";
+    util::Table series({"t [min]", "phase", "N_TX", "reliability",
+                        "radio-on [ms]"});
+    util::RunningStats rel, radio, ntx;
+    for (int r = 0; r < rounds; ++r) {
+      core::RoundStats rs = net.run_round(sources);
+      rel.add(rs.reliability);
+      radio.add(rs.radio_on_ms);
+      ntx.add(rs.n_tx);
+      if (r % 30 == 0) {
+        double t_min = static_cast<double>(r) * 4.0 / 60.0;
+        series.add_row({util::Table::num(t_min, 0), phase_at(t_min),
+                        std::to_string(rs.n_tx),
+                        util::Table::pct(rs.reliability),
+                        util::Table::num(rs.radio_on_ms)});
+      }
+    }
+    series.print(std::cout);
+    std::cout << '\n';
+    summary.add_row({run.figure, run.name, util::Table::pct(rel.mean()),
+                     util::Table::num(radio.mean()),
+                     util::Table::num(ntx.mean())});
+  }
+
+  std::cout << "aggregates over the 27-minute experiment\n";
+  summary.print(std::cout);
+  std::cout << "(paper: Dimmer and PID both 99.3% reliable; Dimmer 12.3 ms"
+               " vs PID 14.4 ms radio-on —\n the PID overshoots to N_max"
+               " under light interference, Dimmer finds the setpoint)\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Fig. 5a / 5b — adaptivity to static interference levels.
+//
+// Dimmer (DQN), the PID baseline, and static LWB (N_TX = 3) against
+// continuous JamLab interference from 0% to 35% occupancy (13 ms bursts).
+// Results are averaged over all rounds of several runs per level; the
+// stddev columns are the paper's error bars (variation between runs).
+//
+// Expected shape (paper): reliability of every protocol decreases with the
+// level, with the adaptive protocols surviving much longer than LWB (5a);
+// the PID's radio-on time jumps to the maximum as soon as any interference
+// appears, while Dimmer's scales with the interference strength and LWB's
+// stays low (5b). The Dimmer-vs-PID energy crossover sits below ~15%.
+#include <iostream>
+#include <memory>
+
+#include "baselines/pid.hpp"
+#include "bench/common.hpp"
+#include "core/controller.hpp"
+#include "core/protocol.hpp"
+#include "core/scenarios.hpp"
+#include "phy/topology.hpp"
+#include "rl/quantized.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace dimmer;
+
+int main() {
+  phy::Topology topo = phy::make_office18_topology();
+  rl::Mlp policy = bench::shared_policy();
+  core::PretrainedOptions popt;
+  auto sources = bench::all_to_all_sources(topo);
+
+  const int runs = bench::scaled(3);
+  const int rounds_per_run = bench::scaled(30 * 60 / 4);  // 30-minute runs
+  const double levels[] = {0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35};
+  const char* protocols[] = {"dimmer", "pid", "lwb"};
+
+  util::Table t5a({"interference", "protocol", "reliability", "stddev"});
+  util::Table t5b({"interference", "protocol", "radio-on [ms]", "stddev"});
+
+  for (double level : levels) {
+    for (const char* proto : protocols) {
+      util::RunningStats rel_runs, radio_runs;
+      for (int run = 0; run < runs; ++run) {
+        phy::InterferenceField field;
+        core::add_office_ambient(field, topo);
+        if (level > 0.0) core::add_static_jamming(field, topo, level);
+
+        std::unique_ptr<core::AdaptivityController> controller;
+        if (std::string(proto) == "dimmer")
+          controller = std::make_unique<core::DqnController>(
+              rl::QuantizedMlp(policy), popt.features);
+        else if (std::string(proto) == "pid")
+          controller = std::make_unique<baselines::PidController>();
+        else
+          controller = std::make_unique<core::StaticController>(3);
+
+        core::ProtocolConfig cfg;
+        cfg.start_time = sim::hours(10) + sim::minutes(run * 40);
+        core::DimmerNetwork net(topo, field, cfg, std::move(controller), 0,
+                                util::hash_u64(0xF150ULL, static_cast<std::uint64_t>(run),
+                                               static_cast<std::uint64_t>(level * 100)));
+        util::RunningStats rel, radio;
+        for (int r = 0; r < rounds_per_run; ++r) {
+          core::RoundStats rs = net.run_round(sources);
+          rel.add(rs.reliability);
+          radio.add(rs.radio_on_ms);
+        }
+        rel_runs.add(rel.mean());
+        radio_runs.add(radio.mean());
+      }
+      t5a.add_row({util::Table::pct(level, 0), proto,
+                   util::Table::pct(rel_runs.mean(), 2),
+                   util::Table::pct(rel_runs.stddev(), 2)});
+      t5b.add_row({util::Table::pct(level, 0), proto,
+                   util::Table::num(radio_runs.mean()),
+                   util::Table::num(radio_runs.stddev())});
+    }
+  }
+
+  std::cout << "Fig. 5a: reliability vs interference level ("
+            << runs << " x " << rounds_per_run * 4 / 60 << "-minute runs)\n\n";
+  t5a.print(std::cout);
+  std::cout << "\nFig. 5b: radio-on time vs interference level\n\n";
+  t5b.print(std::cout);
+  std::cout << "\n(paper: PID maxes out its radio-on immediately; Dimmer"
+               " needs less energy below ~15% for similar reliability;\n"
+               " LWB's reliability degrades but some slots fit between"
+               " bursts)\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Microbenchmarks (google-benchmark) for the performance-critical pieces:
+//
+//  - DQN inference, float vs quantized fixed-point (the paper's §IV-B
+//    embedded DQN: int16 weights, int32 accumulators, 90 ms on a 4 MHz
+//    16-bit TelosB; on a modern CPU both paths are sub-microsecond, the
+//    interesting number is their ratio and the byte footprint);
+//  - a full Glossy flood across the 18-node office topology;
+//  - a complete LWB round (control + 18 data slots);
+//  - Exp3 sampling + update.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/protocol.hpp"
+#include "core/scenarios.hpp"
+#include "flood/glossy.hpp"
+#include "phy/topology.hpp"
+#include "rl/exp3.hpp"
+#include "rl/mlp.hpp"
+#include "rl/quantized.hpp"
+
+using namespace dimmer;
+
+namespace {
+
+std::vector<double> example_input(int n) {
+  std::vector<double> x(static_cast<std::size_t>(n));
+  util::Pcg32 rng(7);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+void BM_DqnInferenceFloat(benchmark::State& state) {
+  rl::Mlp net({31, 30, 3}, 1);
+  std::vector<double> x = example_input(31);
+  for (auto _ : state) benchmark::DoNotOptimize(net.forward(x));
+}
+BENCHMARK(BM_DqnInferenceFloat);
+
+void BM_DqnInferenceQuantized(benchmark::State& state) {
+  rl::Mlp net({31, 30, 3}, 1);
+  rl::QuantizedMlp q(net);
+  std::vector<double> x = example_input(31);
+  for (auto _ : state) benchmark::DoNotOptimize(q.forward_fixed(x));
+  state.SetLabel("flash=" + std::to_string(q.flash_bytes()) +
+                 "B ram=" + std::to_string(q.ram_bytes()) + "B");
+}
+BENCHMARK(BM_DqnInferenceQuantized);
+
+void BM_GlossyFlood(benchmark::State& state) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  flood::GlossyFlood engine(topo, field);
+  std::vector<flood::NodeFloodConfig> cfgs(
+      static_cast<std::size_t>(topo.size()),
+      flood::NodeFloodConfig{static_cast<int>(state.range(0)), true});
+  flood::FloodParams params;
+  util::Pcg32 rng(3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.run(0, cfgs, params, rng));
+}
+BENCHMARK(BM_GlossyFlood)->Arg(1)->Arg(3)->Arg(8);
+
+void BM_LwbRound(benchmark::State& state) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  core::add_static_jamming(field, topo, 0.30);
+  core::ProtocolConfig cfg;
+  core::DimmerNetwork net(topo, field, cfg,
+                          std::make_unique<core::StaticController>(3), 0, 5);
+  std::vector<phy::NodeId> sources;
+  for (int i = 1; i < topo.size(); ++i) sources.push_back(i);
+  sources.push_back(0);
+  for (auto _ : state) benchmark::DoNotOptimize(net.run_round(sources));
+}
+BENCHMARK(BM_LwbRound);
+
+void BM_Exp3Update(benchmark::State& state) {
+  rl::Exp3 bandit(2, 0.12);
+  util::Pcg32 rng(9);
+  for (auto _ : state) {
+    std::size_t arm = bandit.sample(rng);
+    bandit.update(arm, rng.uniform());
+  }
+}
+BENCHMARK(BM_Exp3Update);
+
+}  // namespace
+
+BENCHMARK_MAIN();

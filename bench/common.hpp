@@ -1,0 +1,53 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Scaling: every harness honours DIMMER_BENCH_SCALE (a float; default 1.0).
+// Values below 1 shrink run lengths / model counts proportionally for quick
+// smoke runs (e.g. DIMMER_BENCH_SCALE=0.25); values above 1 extend them
+// toward the paper's full durations.
+//
+// The trained policy is cached in ./dimmer_dqn.mlp (or $DIMMER_POLICY): the
+// first bench that needs it trains once, subsequent benches reuse it — the
+// same frozen-network deployment model as the paper.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/pretrained.hpp"
+#include "phy/topology.hpp"
+
+namespace dimmer::bench {
+
+inline double scale() {
+  const char* s = std::getenv("DIMMER_BENCH_SCALE");
+  if (!s) return 1.0;
+  double v = std::atof(s);
+  return v > 0.0 ? v : 1.0;
+}
+
+/// max(lo, round(x * scale)).
+inline int scaled(int x, int lo = 1) {
+  auto v = static_cast<int>(static_cast<double>(x) * scale() + 0.5);
+  return v < lo ? lo : v;
+}
+
+inline std::string policy_cache_path() {
+  const char* p = std::getenv("DIMMER_POLICY");
+  return p ? p : "dimmer_dqn.mlp";
+}
+
+inline rl::Mlp shared_policy() {
+  core::PretrainedOptions opt;
+  return core::load_or_train_policy(policy_cache_path(), opt, &std::cerr);
+}
+
+/// All 18 nodes broadcast every round (paper §V-A: periodic 4 s traffic).
+inline std::vector<phy::NodeId> all_to_all_sources(const phy::Topology& topo) {
+  std::vector<phy::NodeId> sources;
+  for (phy::NodeId i = 1; i < topo.size(); ++i) sources.push_back(i);
+  sources.push_back(0);
+  return sources;
+}
+
+}  // namespace dimmer::bench

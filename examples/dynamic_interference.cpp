@@ -1,0 +1,78 @@
+// The paper's Fig. 4c/4d scenario: the 18-node office deployment during work
+// hours; after 7 min of calm, 5 min of heavy (30%) 802.15.4 jamming, 5 min
+// of calm, 5 min of light (5%) jamming, then calm again. Prints a time
+// series of N_TX, reliability, and radio-on time for the chosen controller.
+//
+//   ./examples/dynamic_interference [--controller dqn|pid|static]
+//                                   [--policy dimmer_dqn.mlp] [--seed 3]
+#include <iostream>
+#include <memory>
+
+#include "baselines/pid.hpp"
+#include "core/pretrained.hpp"
+#include "core/protocol.hpp"
+#include "core/scenarios.hpp"
+#include "phy/topology.hpp"
+#include "rl/quantized.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dimmer;
+  util::Cli cli(argc, argv);
+  const std::string kind = cli.get("controller", "dqn");
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+
+  phy::Topology topo = phy::make_office18_topology();
+  const sim::TimeUs origin = sim::hours(10);  // daytime: ambient active
+
+  phy::InterferenceField field;
+  core::add_office_ambient(field, topo);
+  core::add_dynamic_jamming(field, topo, phy::kControlChannel, origin);
+
+  std::unique_ptr<core::AdaptivityController> controller;
+  if (kind == "dqn") {
+    core::PretrainedOptions opt;
+    rl::Mlp net = core::load_or_train_policy(cli.get("policy", "dimmer_dqn.mlp"),
+                                             opt, &std::cout);
+    controller = std::make_unique<core::DqnController>(rl::QuantizedMlp(net),
+                                                       opt.features);
+  } else if (kind == "pid") {
+    controller = std::make_unique<baselines::PidController>();
+  } else {
+    controller = std::make_unique<core::StaticController>(3);
+  }
+
+  core::ProtocolConfig cfg;
+  cfg.start_time = origin;
+  core::DimmerNetwork net(topo, field, cfg, std::move(controller), 0, seed);
+
+  std::vector<phy::NodeId> sources;
+  for (int i = 1; i < topo.size(); ++i) sources.push_back(i);
+  sources.push_back(0);
+
+  util::Table table({"t [min]", "phase", "N_TX", "reliability", "radio [ms]"});
+  const int total_rounds = 27 * 60 / 4;  // 27 minutes at 4 s rounds
+  util::RunningStats rel_all, radio_all;
+  for (int r = 0; r < total_rounds; ++r) {
+    core::RoundStats rs = net.run_round(sources);
+    rel_all.add(rs.reliability);
+    radio_all.add(rs.radio_on_ms);
+    if (r % 15 == 0) {
+      double t_min = static_cast<double>(r) * 4.0 / 60.0;
+      const char* phase = t_min < 7    ? "calm"
+                          : t_min < 12 ? "30% jam"
+                          : t_min < 17 ? "calm"
+                          : t_min < 22 ? "5% jam"
+                                       : "calm";
+      table.add_row({util::Table::num(t_min, 1), phase,
+                     std::to_string(rs.n_tx), util::Table::pct(rs.reliability),
+                     util::Table::num(rs.radio_on_ms)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\noverall: reliability " << util::Table::pct(rel_all.mean())
+            << ", radio-on " << util::Table::num(radio_all.mean())
+            << " ms (paper: both ~99.3%; Dimmer 12.3 ms vs PID 14.4 ms)\n";
+  return 0;
+}

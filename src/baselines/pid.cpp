@@ -1,0 +1,55 @@
+#include "baselines/pid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dimmer::baselines {
+
+PidController::PidController() : PidController(Config{}) {}
+
+PidController::PidController(Config cfg) : cfg_(cfg) {
+  DIMMER_REQUIRE(cfg_.n_max >= 1, "n_max must be >= 1");
+  DIMMER_REQUIRE(cfg_.integral_max > 0.0, "integral_max must be positive");
+  reset();
+}
+
+void PidController::reset() {
+  // Start the integral where the output equals the common default N_TX = 3,
+  // so the controller does not slam the network at startup.
+  integral_ = cfg_.ki > 0.0 ? 3.0 / cfg_.ki : 0.0;
+  prev_error_ = 0.0;
+}
+
+int PidController::decide(const core::GlobalSnapshot& snapshot,
+                          bool round_lossless, int current_n_tx) {
+  (void)current_n_tx;
+  // Worst-device loss fraction; stale/missing feedback is pessimistic, the
+  // same rule the DQN's feature builder applies.
+  double worst_rel = 1.0;
+  for (std::size_t i = 0; i < snapshot.entries.size(); ++i) {
+    if (!snapshot.entries[i].accounted) continue;
+    bool fresh = snapshot.fresh(static_cast<phy::NodeId>(i));
+    double rel = fresh ? snapshot.entries[i].reliability : 0.0;
+    worst_rel = std::min(worst_rel, rel);
+  }
+
+  double error;
+  if (round_lossless && worst_rel >= 0.999) {
+    error = -cfg_.energy_pressure;  // reliability at 100%: minimize energy
+  } else {
+    error = std::max(cfg_.loss_error_floor,
+                     (1.0 - worst_rel) * static_cast<double>(cfg_.n_max));
+  }
+
+  integral_ = std::clamp(integral_ + error, 0.0, cfg_.integral_max);
+  double derivative = error - prev_error_;
+  prev_error_ = error;
+
+  double u = cfg_.kp * error + cfg_.ki * integral_ + cfg_.kd * derivative;
+  int n = static_cast<int>(std::lround(u));
+  return std::clamp(n, 1, cfg_.n_max);
+}
+
+}  // namespace dimmer::baselines

@@ -1,0 +1,52 @@
+// The paper's adaptive baseline: a PI(D) controller on the retransmission
+// parameter (§V-A "Baselines": K_P = 1, K_I = 0.25, "tuned ... to maximize
+// reliability first, and minimize energy consumption if reliability is at
+// 100%").
+//
+// The error signal is the loss fraction reported by the worst device in the
+// coordinator's snapshot, scaled to N_TX units; on fully-reliable rounds a
+// small negative "energy pressure" drains the integral so N_TX creeps down —
+// which produces exactly the paper's observed behaviours: oscillation around
+// N_TX = 3 in calm conditions, overshoot to N_max under interference, and a
+// slow integral-driven recovery afterwards.
+#pragma once
+
+#include "core/controller.hpp"
+
+namespace dimmer::baselines {
+
+class PidController : public core::AdaptivityController {
+ public:
+  struct Config {
+    double kp = 1.0;
+    double ki = 0.25;
+    double kd = 0.0;
+    /// Error applied on lossless rounds (negative = push N_TX down).
+    double energy_pressure = 0.18;
+    /// Minimum error on any lossy round. Rule-based controllers "provide
+    /// adaptivity by overshooting the optimal value" (SIII-B): one bad
+    /// round must kick the output hard, which is what produces the paper's
+    /// jump to N_max and the slow integral-driven recovery.
+    double loss_error_floor = 2.0;
+    int n_max = core::kNMax;
+    /// Anti-windup clamp on the integral term.
+    double integral_max = 3.0 * core::kNMax;
+  };
+
+  PidController();
+  explicit PidController(Config cfg);
+
+  int decide(const core::GlobalSnapshot& snapshot, bool round_lossless,
+             int current_n_tx) override;
+  const char* name() const override { return "pid"; }
+
+  double integral() const { return integral_; }
+  void reset();
+
+ private:
+  Config cfg_;
+  double integral_;
+  double prev_error_ = 0.0;
+};
+
+}  // namespace dimmer::baselines

@@ -1,0 +1,43 @@
+// Aperiodic data-collection scenario (D-Cube "Data Collection V1", §V-E):
+// a handful of known sources generate packets at random intervals for a
+// known sink. This file runs the scenario over a DimmerNetwork (Dimmer or
+// an LWB-family baseline); the Crystal counterpart lives in src/baselines.
+//
+// Two delivery modes mirror the paper:
+//  - best-effort (plain LWB): each packet rides exactly one data slot;
+//  - ACK mode (Dimmer in §V-E): "we ... simply add application-layer ACKs" —
+//    a packet stays queued until a round in which the sink received it.
+#pragma once
+
+#include <cstdint>
+
+#include "core/protocol.hpp"
+
+namespace dimmer::core {
+
+struct CollectionConfig {
+  int n_sources = 5;
+  /// Mean packet inter-arrival time per source (exponential arrivals).
+  sim::TimeUs mean_interarrival = sim::seconds(5);
+  sim::TimeUs duration = sim::minutes(10);
+  bool acks = true;  ///< false = best-effort single shot (plain LWB)
+  /// At most one slot per source per round (the LWB schedule granularity).
+  std::uint64_t seed = 1;
+};
+
+struct CollectionResult {
+  long sent = 0;         ///< packets generated at sources
+  long delivered = 0;    ///< unique packets received at the sink
+  double reliability = 1.0;  ///< delivered / sent
+  double radio_on_ms = 0.0;  ///< mean per-slot radio-on across nodes/rounds
+  double radio_duty = 0.0;   ///< fraction of wall-clock time radios were on
+  double avg_n_tx = 0.0;     ///< mean commanded N_TX across rounds
+  long rounds = 0;
+};
+
+/// Runs the collection workload on an already-constructed network. Sources
+/// are the `n_sources` lowest node ids other than the sink/coordinator.
+CollectionResult run_collection(DimmerNetwork& net,
+                                const CollectionConfig& cfg);
+
+}  // namespace dimmer::core

@@ -1,0 +1,42 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dimmer::core {
+
+int apply_action(int n_tx, AdaptAction a, int n_max) {
+  int delta = static_cast<int>(a) - 1;  // kDecrease=-1, kMaintain=0, kIncrease=+1
+  return std::clamp(n_tx + delta, 1, n_max);
+}
+
+StaticController::StaticController(int n_tx) : n_tx_(n_tx) {
+  DIMMER_REQUIRE(n_tx >= 1 && n_tx <= kNMax, "static n_tx out of [1, N_max]");
+}
+
+DqnController::DqnController(rl::QuantizedMlp policy, FeatureConfig features)
+    : policy_(std::move(policy)), features_(features) {
+  DIMMER_REQUIRE(
+      policy_.layers().front().in == features_.input_size(),
+      "policy input width does not match the feature configuration");
+  DIMMER_REQUIRE(policy_.layers().back().out == 3,
+                 "policy must emit 3 Q-values (decrease/maintain/increase)");
+}
+
+int DqnController::decide(const GlobalSnapshot& snapshot, bool round_lossless,
+                          int current_n_tx) {
+  // The finished round's loss bit enters the history window first: with
+  // M = 2 and 4 s rounds this is the paper's "data about losses over the
+  // last 8 sec".
+  history_.push_front(round_lossless);
+  while (static_cast<int>(history_.size()) >
+         std::max(1, features_.config().history))
+    history_.pop_back();
+
+  last_features_ = features_.build(snapshot, current_n_tx, history_);
+  auto action = static_cast<AdaptAction>(policy_.greedy_action(last_features_));
+  return apply_action(current_n_tx, action, features_.config().n_max);
+}
+
+}  // namespace dimmer::core

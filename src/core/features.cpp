@@ -1,0 +1,92 @@
+#include "core/features.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dimmer::core {
+
+FeatureBuilder::FeatureBuilder(FeatureConfig cfg) : cfg_(cfg) {
+  DIMMER_REQUIRE(cfg_.k >= 1, "K must be >= 1");
+  DIMMER_REQUIRE(cfg_.history >= 0, "M must be >= 0");
+  DIMMER_REQUIRE(cfg_.n_max >= 1, "N_max must be >= 1");
+  DIMMER_REQUIRE(cfg_.slot_ms > 0.0, "slot_ms must be positive");
+}
+
+int FeatureBuilder::input_size() const {
+  return 2 * cfg_.k + (cfg_.n_max + 1) + cfg_.history;
+}
+
+double FeatureBuilder::normalize_radio_on(double ms, double slot_ms) {
+  double v = 2.0 * (ms / slot_ms) - 1.0;
+  return std::clamp(v, -1.0, 1.0);
+}
+
+double FeatureBuilder::normalize_reliability(double reliability) {
+  // [50%, 100%] -> [-1, 1]; "we depict any reliability below 50% [as] -1".
+  double v = 4.0 * reliability - 3.0;
+  return std::clamp(v, -1.0, 1.0);
+}
+
+std::vector<double> FeatureBuilder::build(
+    const GlobalSnapshot& snapshot, int n_tx,
+    const std::deque<bool>& history) const {
+  DIMMER_REQUIRE(n_tx >= 0 && n_tx <= cfg_.n_max, "n_tx out of [0, N_max]");
+
+  // Effective per-node values: fresh feedback or pessimistic fill
+  // ("Absence of feedback is treated as 0% reliability, 100% radio-on").
+  struct Row {
+    phy::NodeId id;
+    double rel;
+    double radio_ms;
+  };
+  std::vector<Row> rows;
+  rows.reserve(snapshot.entries.size());
+  for (std::size_t i = 0; i < snapshot.entries.size(); ++i) {
+    auto id = static_cast<phy::NodeId>(i);
+    if (!snapshot.entries[i].accounted) continue;  // §IV-E subset rule
+    if (snapshot.fresh(id)) {
+      const auto& e = snapshot.entries[i];
+      rows.push_back({id, e.reliability, e.radio_on_ms});
+    } else {
+      rows.push_back({id, 0.0, cfg_.slot_ms});
+    }
+  }
+
+  // K devices with lowest reliability; deterministic tie-break on id.
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.rel != b.rel ? a.rel < b.rel : a.id < b.id;
+  });
+  // Fewer accounted reporters than K (small networks or a restricted
+  // feedback subset): repeat the available rows cyclically, worst first.
+  // Oversampling real reporters keeps the vector inside the distribution the
+  // DQN trained on, unlike padding with synthetic "perfect" rows.
+  if (rows.empty()) rows.push_back({-1, 0.0, cfg_.slot_ms});  // all silent
+  const std::size_t real_rows = rows.size();
+  for (std::size_t i = 0; static_cast<int>(rows.size()) < cfg_.k; ++i) {
+    Row repeat = rows[i % real_rows];
+    rows.push_back(repeat);
+  }
+
+  std::vector<double> x;
+  x.reserve(static_cast<std::size_t>(input_size()));
+  for (int i = 0; i < cfg_.k; ++i)
+    x.push_back(normalize_radio_on(rows[static_cast<std::size_t>(i)].radio_ms,
+                                   cfg_.slot_ms));
+  for (int i = 0; i < cfg_.k; ++i)
+    x.push_back(
+        normalize_reliability(rows[static_cast<std::size_t>(i)].rel));
+
+  for (int v = 0; v <= cfg_.n_max; ++v) x.push_back(v == n_tx ? 1.0 : 0.0);
+
+  for (int m = 0; m < cfg_.history; ++m) {
+    bool lossless =
+        m < static_cast<int>(history.size()) ? history[static_cast<std::size_t>(m)] : true;
+    x.push_back(lossless ? 1.0 : -1.0);
+  }
+
+  DIMMER_CHECK(static_cast<int>(x.size()) == input_size());
+  return x;
+}
+
+}  // namespace dimmer::core

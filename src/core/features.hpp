@@ -1,0 +1,53 @@
+// DQN input-vector construction (paper Table I).
+//
+//   Input          rows        normalization
+//   radio-on time  K (10)      [0, 20 ms]  -> [-1, 1]
+//   reliability    K (10)      [50, 100 %] -> [-1, 1] (below 50% saturates)
+//   N parameter    N_max+1 (9) one-hot encoding
+//   history        M (2)       -1 if losses that round, +1 otherwise
+//
+// The K rows come from the K devices with *lowest reliability* ("to correctly
+// represent the suffered packet losses"); stale or missing feedback is filled
+// pessimistically (0% reliability, 100% radio-on). This makes the input size
+// independent of the deployment size — the property that lets the paper move
+// an 18-node-trained DQN to a 48-node testbed without retraining.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dimmer::core {
+
+struct FeatureConfig {
+  int k = 10;        ///< feedback rows (paper picks K = 10 in Fig. 4b)
+  int history = 2;   ///< M historical loss bits (paper picks M = 2)
+  int n_max = kNMax; ///< one-hot width is n_max + 1
+  double slot_ms = 20.0;
+};
+
+class FeatureBuilder {
+ public:
+  explicit FeatureBuilder(FeatureConfig cfg);
+
+  const FeatureConfig& config() const { return cfg_; }
+
+  /// 2K + (N_max + 1) + M; 31 for the paper's K=10, M=2, N_max=8.
+  int input_size() const;
+
+  /// Build the normalized input vector.
+  /// `history` holds per-round lossless flags, most recent first; missing
+  /// entries (cold start) are treated as lossless.
+  std::vector<double> build(const GlobalSnapshot& snapshot, int n_tx,
+                            const std::deque<bool>& history) const;
+
+  /// Normalizations exposed for tests.
+  static double normalize_radio_on(double ms, double slot_ms);
+  static double normalize_reliability(double reliability);
+
+ private:
+  FeatureConfig cfg_;
+};
+
+}  // namespace dimmer::core

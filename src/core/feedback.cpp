@@ -1,0 +1,35 @@
+#include "core/feedback.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dimmer::core {
+
+namespace {
+std::uint8_t quantize(double frac) {
+  frac = std::clamp(frac, 0.0, 1.0);
+  return static_cast<std::uint8_t>(std::lround(frac * 255.0));
+}
+}  // namespace
+
+FeedbackHeader encode_feedback(double reliability, double radio_on_ms,
+                               double slot_ms) {
+  DIMMER_REQUIRE(slot_ms > 0.0, "slot_ms must be positive");
+  FeedbackHeader h;
+  h.reliability_q = quantize(reliability);
+  h.radio_on_q = quantize(radio_on_ms / slot_ms);
+  return h;
+}
+
+double decode_reliability(const FeedbackHeader& h) {
+  return static_cast<double>(h.reliability_q) / 255.0;
+}
+
+double decode_radio_on_ms(const FeedbackHeader& h, double slot_ms) {
+  DIMMER_REQUIRE(slot_ms > 0.0, "slot_ms must be positive");
+  return static_cast<double>(h.radio_on_q) / 255.0 * slot_ms;
+}
+
+}  // namespace dimmer::core

@@ -1,0 +1,30 @@
+// The two-byte Dimmer feedback header (paper §III-A, §IV-D).
+//
+// "For each data slot, the source appends to its payload a two-byte header
+// representing two performance metrics: its radio-on time averaged over the
+// last floods, and its reliability (packet reception rate)."
+#pragma once
+
+#include <cstdint>
+
+namespace dimmer::core {
+
+/// Wire format: one byte per metric.
+struct FeedbackHeader {
+  std::uint8_t reliability_q = 0;  ///< 0..255 over [0,1]
+  std::uint8_t radio_on_q = 255;   ///< 0..255 over [0, slot_len]
+};
+
+/// Quantize local measurements into the 2-byte header.
+/// `radio_on_ms` is clamped to [0, slot_ms]; `reliability` to [0,1].
+FeedbackHeader encode_feedback(double reliability, double radio_on_ms,
+                               double slot_ms = 20.0);
+
+/// Decode the header back to engineering units.
+double decode_reliability(const FeedbackHeader& h);
+double decode_radio_on_ms(const FeedbackHeader& h, double slot_ms = 20.0);
+
+/// Size of the header on the wire (paper: 2 bytes).
+constexpr int kFeedbackHeaderBytes = 2;
+
+}  // namespace dimmer::core

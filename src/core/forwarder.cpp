@@ -1,0 +1,114 @@
+#include "core/forwarder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace dimmer::core {
+
+ForwarderSelection::ForwarderSelection(int n_nodes, phy::NodeId coordinator,
+                                       ForwarderConfig cfg)
+    : cfg_(cfg), coordinator_(coordinator) {
+  DIMMER_REQUIRE(n_nodes >= 2, "need at least two nodes");
+  DIMMER_REQUIRE(coordinator >= 0 && coordinator < n_nodes,
+                 "coordinator out of range");
+  DIMMER_REQUIRE(cfg_.rounds_per_turn >= 1, "rounds_per_turn must be >= 1");
+  bandits_.assign(static_cast<std::size_t>(n_nodes),
+                  rl::Exp3(2, cfg_.exp3_gamma));
+  roles_.assign(static_cast<std::size_t>(n_nodes), true);  // all active
+  order_.resize(static_cast<std::size_t>(n_nodes) - 1);
+  std::size_t k = 0;
+  for (phy::NodeId i = 0; i < n_nodes; ++i)
+    if (i != coordinator_) order_[k++] = i;
+  reshuffle_order();
+}
+
+void ForwarderSelection::reshuffle_order() {
+  // Deterministic per-epoch shuffle: geographic spreading comes from the
+  // pseudo-random order, and determinism keeps simulations reproducible.
+  util::Pcg32 rng(util::hash_u64(cfg_.order_seed, epoch_));
+  rng.shuffle(order_);
+  order_pos_ = 0;
+}
+
+void ForwarderSelection::advance_turn(util::Pcg32& rng) {
+  (void)rng;
+  if (order_pos_ >= order_.size()) {
+    ++epoch_;
+    reshuffle_order();
+  }
+  learner_ = order_[order_pos_++];
+  rounds_into_turn_ = 0;
+}
+
+void ForwarderSelection::begin_round(util::Pcg32& rng) {
+  DIMMER_REQUIRE(!round_open_, "begin_round called twice without end_round");
+  if (learner_ < 0 || rounds_into_turn_ >= cfg_.rounds_per_turn)
+    advance_turn(rng);
+
+  auto& bandit = bandits_[static_cast<std::size_t>(learner_)];
+  learner_arm_ = static_cast<ForwarderArm>(bandit.sample(rng));
+  roles_[static_cast<std::size_t>(learner_)] =
+      learner_arm_ == ForwarderArm::kActive;
+  round_open_ = true;
+}
+
+void ForwarderSelection::end_round(double observed_reliability) {
+  DIMMER_REQUIRE(round_open_, "end_round without begin_round");
+  round_open_ = false;
+  ++rounds_into_turn_;
+
+  bool lossless = observed_reliability >= 0.999;
+  auto& bandit = bandits_[static_cast<std::size_t>(learner_)];
+  double reward;
+  if (learner_arm_ == ForwarderArm::kPassive) {
+    reward = lossless ? cfg_.passive_reward_lossless
+                      : cfg_.passive_reward_lossy;
+  } else {
+    reward = lossless ? cfg_.active_reward_lossless
+                      : cfg_.active_reward_lossy;
+  }
+  bandit.update(static_cast<std::size_t>(learner_arm_), reward);
+
+  // Stability technique (b): punish network-breaking configurations by
+  // reinitialising the passive arm.
+  if (observed_reliability <= cfg_.breaking_reliability &&
+      learner_arm_ == ForwarderArm::kPassive) {
+    bandit.reset_arm(static_cast<std::size_t>(ForwarderArm::kPassive));
+    roles_[static_cast<std::size_t>(learner_)] = true;  // recover immediately
+    return;
+  }
+
+  // Between rounds of a turn the learner keeps its sampled role; once the
+  // turn ends the next begin_round will freeze it at its best arm.
+  if (rounds_into_turn_ >= cfg_.rounds_per_turn) {
+    roles_[static_cast<std::size_t>(learner_)] =
+        bandit.best_arm() == static_cast<std::size_t>(ForwarderArm::kActive);
+  }
+}
+
+void ForwarderSelection::apply_breaking_penalty(
+    const std::vector<double>& local_views) {
+  DIMMER_REQUIRE(local_views.size() == roles_.size(),
+                 "one local view per node required");
+  for (std::size_t i = 0; i < roles_.size(); ++i) {
+    if (roles_[i]) continue;  // forwarders are not to blame
+    if (local_views[i] > cfg_.breaking_reliability) continue;
+    bandits_[i].reset_arm(static_cast<std::size_t>(ForwarderArm::kPassive));
+    roles_[i] = true;
+  }
+}
+
+int ForwarderSelection::active_count() const {
+  return static_cast<int>(
+      std::count(roles_.begin(), roles_.end(), true));
+}
+
+const rl::Exp3& ForwarderSelection::bandit(phy::NodeId n) const {
+  DIMMER_REQUIRE(n >= 0 && n < static_cast<int>(bandits_.size()),
+                 "node out of range");
+  return bandits_[static_cast<std::size_t>(n)];
+}
+
+}  // namespace dimmer::core

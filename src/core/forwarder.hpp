@@ -1,0 +1,91 @@
+// Distributed forwarder selection with adversarial multi-armed bandits
+// (paper §IV-C).
+//
+// Each device runs a two-armed Exp3 instance: arm 0 = active forwarder,
+// arm 1 = passive receiver. The coordinator grants learning turns; the
+// paper's three stability techniques are implemented here:
+//  (a) learning is sequential — each device gets `rounds_per_turn` (10)
+//      consecutive rounds while everyone else's role is frozen;
+//  (b) network-breaking configurations are punished — the passive arm is
+//      reinitialised whenever passivity coincided with a breaking round;
+//  (c) turns follow a pseudo-random order, reshuffled every epoch, so early
+//      passive receivers are not clustered together.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/topology.hpp"
+#include "rl/exp3.hpp"
+#include "util/rng.hpp"
+
+namespace dimmer::core {
+
+/// Arm indices of the two-armed bandit.
+enum class ForwarderArm { kActive = 0, kPassive = 1 };
+
+struct ForwarderConfig {
+  int rounds_per_turn = 10;   ///< "each device has ten consecutive rounds"
+  double exp3_gamma = 0.12;   ///< exploration factor
+  /// Rewards (all in [0,1]). Passivity earns the full energy-saving reward
+  /// on a lossless round and nothing otherwise; staying active earns a
+  /// medium reward so that harmless passivity eventually wins, and a higher
+  /// one on lossy rounds (forwarding was visibly needed).
+  double passive_reward_lossless = 1.0;
+  double passive_reward_lossy = 0.0;
+  double active_reward_lossless = 0.55;
+  double active_reward_lossy = 0.85;
+  /// A round at or below this reliability is "network-breaking": the learner's
+  /// passive arm is reset if it was passive.
+  double breaking_reliability = 0.9;
+  std::uint64_t order_seed = 0x0F02'77A3ULL;
+};
+
+class ForwarderSelection {
+ public:
+  ForwarderSelection(int n_nodes, phy::NodeId coordinator,
+                     ForwarderConfig cfg);
+
+  /// Starts (or continues) a learning round: picks the learner according to
+  /// the sequential schedule and samples its role from Exp3. Roles of all
+  /// other devices stay frozen at their best arm.
+  void begin_round(util::Pcg32& rng);
+
+  /// Reports the round outcome as observed by the learner (its local view of
+  /// network reliability) and applies the Exp3 update + punishments.
+  void end_round(double observed_reliability);
+
+  /// Stability technique (b), network-wide: every *passive* device that
+  /// locally observes a network-breaking round reinitialises its passive arm
+  /// and falls back to forwarding. `local_views` holds each node's local
+  /// reliability estimate for the finished round.
+  void apply_breaking_penalty(const std::vector<double>& local_views);
+
+  /// Current role assignment; true = active forwarder.
+  const std::vector<bool>& roles() const { return roles_; }
+  int active_count() const;
+
+  phy::NodeId current_learner() const { return learner_; }
+  std::uint64_t epoch() const { return epoch_; }
+  const rl::Exp3& bandit(phy::NodeId n) const;
+
+  const ForwarderConfig& config() const { return cfg_; }
+
+ private:
+  void advance_turn(util::Pcg32& rng);
+  void reshuffle_order();
+
+  ForwarderConfig cfg_;
+  phy::NodeId coordinator_;
+  std::vector<rl::Exp3> bandits_;   ///< one per node (coordinator's unused)
+  std::vector<bool> roles_;
+  std::vector<phy::NodeId> order_;  ///< learning order for this epoch
+  std::size_t order_pos_ = 0;
+  phy::NodeId learner_ = -1;
+  int rounds_into_turn_ = 0;
+  ForwarderArm learner_arm_ = ForwarderArm::kActive;
+  bool round_open_ = false;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace dimmer::core

@@ -1,0 +1,47 @@
+// Convenience pipeline: obtain a trained Dimmer DQN policy.
+//
+// The paper trains offline on traces from the 18-node testbed under
+// (predominantly) 802.15.4 jamming, then deploys the frozen, quantized
+// network everywhere — including the 48-node D-Cube testbed, without
+// retraining. load_or_train_policy() reproduces that workflow: it collects
+// traces on the office topology under the training interference schedule,
+// trains the DQN, and caches the weights on disk so examples and benchmark
+// harnesses share one policy.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/features.hpp"
+#include "core/trace_env.hpp"
+#include "rl/mlp.hpp"
+
+namespace dimmer::core {
+
+struct PretrainedOptions {
+  FeatureConfig features;        ///< K=10, M=2, N_max=8 by default
+  std::size_t trace_steps = 2500;
+  std::size_t train_steps = 200000;  ///< the paper's training budget
+  sim::TimeUs round_period = sim::seconds(4);
+  std::uint64_t seed = 2021;
+  /// DQN training lands in seed-dependent equilibria (the paper averages
+  /// 3 models per configuration in §V-B for the same reason). We train
+  /// `candidates` seeds and deploy the one with the best reward on a
+  /// held-out validation trace.
+  int candidates = 4;
+  std::size_t validation_steps = 700;
+};
+
+/// Loads the cached policy from `cache_path` if it exists and matches the
+/// feature configuration; otherwise collects traces, trains, and saves.
+/// Progress notes go to `log` when non-null.
+rl::Mlp load_or_train_policy(const std::string& cache_path,
+                             const PretrainedOptions& options,
+                             std::ostream* log = nullptr);
+
+/// Trains a fresh policy (no cache interaction).
+rl::Mlp train_default_policy(const PretrainedOptions& options,
+                             std::ostream* log = nullptr);
+
+}  // namespace dimmer::core

@@ -1,0 +1,279 @@
+#include "core/protocol.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dimmer::core {
+
+DimmerNetwork::DimmerNetwork(const phy::Topology& topo,
+                             const phy::InterferenceField& interference,
+                             ProtocolConfig cfg,
+                             std::unique_ptr<AdaptivityController> controller,
+                             phy::NodeId coordinator, std::uint64_t seed)
+    : topo_(&topo),
+      cfg_(std::move(cfg)),
+      executor_(topo, interference, cfg_.round),
+      controller_(std::move(controller)),
+      coordinator_(coordinator),
+      rng_(seed) {
+  DIMMER_REQUIRE(controller_ != nullptr, "controller must not be null");
+  DIMMER_REQUIRE(coordinator >= 0 && coordinator < topo.size(),
+                 "coordinator out of range");
+  DIMMER_REQUIRE(cfg_.initial_n_tx >= 1 && cfg_.initial_n_tx <= cfg_.n_max,
+                 "initial_n_tx out of [1, N_max]");
+  DIMMER_REQUIRE(cfg_.round_period > 0, "round period must be positive");
+  DIMMER_REQUIRE(cfg_.sink == -1 ||
+                     (cfg_.sink >= 0 && cfg_.sink < topo.size()),
+                 "sink out of range");
+
+  const int n = topo.size();
+  states_.assign(static_cast<std::size_t>(n),
+                 lwb::NodeState{cfg_.initial_n_tx, true, 0});
+  stats_.assign(static_cast<std::size_t>(n),
+                StatsCollector(cfg_.stats_window_slots,
+                               sim::to_ms(cfg_.round.slot_len_us),
+                               cfg_.radio_window_slots));
+  snapshots_.assign(static_cast<std::size_t>(n), GlobalSnapshot(n));
+  DIMMER_REQUIRE(cfg_.feedback_freshness_rounds >= 1,
+                 "freshness window must be >= 1 round");
+  for (auto& snap : snapshots_) {
+    snap.freshness_rounds =
+        static_cast<std::uint64_t>(cfg_.feedback_freshness_rounds);
+    if (!cfg_.feedback_nodes.empty()) {
+      for (auto& e : snap.entries) e.accounted = false;
+      for (phy::NodeId id : cfg_.feedback_nodes) {
+        DIMMER_REQUIRE(id >= 0 && id < n, "feedback node out of range");
+        snap.entries[static_cast<std::size_t>(id)].accounted = true;
+      }
+    }
+  }
+  local_view_.assign(static_cast<std::size_t>(n), 1.0);
+  next_n_tx_ = cfg_.initial_n_tx;
+  time_ = cfg_.start_time;
+  if (cfg_.forwarder_selection)
+    fs_.emplace(n, coordinator_, cfg_.forwarder);
+}
+
+phy::NodeId DimmerNetwork::sink() const {
+  return cfg_.sink >= 0 ? cfg_.sink : coordinator_;
+}
+
+const GlobalSnapshot& DimmerNetwork::snapshot(phy::NodeId n) const {
+  DIMMER_REQUIRE(n >= 0 && n < topo_->size(), "node out of range");
+  return snapshots_[static_cast<std::size_t>(n)];
+}
+
+const StatsCollector& DimmerNetwork::stats(phy::NodeId n) const {
+  DIMMER_REQUIRE(n >= 0 && n < topo_->size(), "node out of range");
+  return stats_[static_cast<std::size_t>(n)];
+}
+
+double DimmerNetwork::local_reliability_view(phy::NodeId n) const {
+  DIMMER_REQUIRE(n >= 0 && n < topo_->size(), "node out of range");
+  return local_view_[static_cast<std::size_t>(n)];
+}
+
+void DimmerNetwork::set_node_failed(phy::NodeId n, bool failed) {
+  DIMMER_REQUIRE(n >= 0 && n < topo_->size(), "node out of range");
+  DIMMER_REQUIRE(n != coordinator_, "the coordinator cannot be failed");
+  states_[static_cast<std::size_t>(n)].failed = failed;
+}
+
+bool DimmerNetwork::node_failed(phy::NodeId n) const {
+  DIMMER_REQUIRE(n >= 0 && n < topo_->size(), "node out of range");
+  return states_[static_cast<std::size_t>(n)].failed;
+}
+
+RoundStats DimmerNetwork::run_round(const std::vector<phy::NodeId>& sources) {
+  RoundStats out;
+  out.round = round_idx_;
+  out.start_us = time_;
+  out.n_tx = next_n_tx_;
+  out.sources = sources;
+
+  // --- Mode selection: MAB learning rounds happen after `mab_calm_rounds`
+  // consecutive lossless rounds (0 = every round, the paper's §V-D setup
+  // with the DQN deactivated).
+  bool mab_round = fs_.has_value() && calm_rounds_ >= cfg_.mab_calm_rounds;
+  out.mab_round = mab_round;
+  if (mab_round) {
+    fs_->begin_round(rng_);
+    const auto& roles = fs_->roles();
+    for (std::size_t i = 0; i < states_.size(); ++i)
+      states_[i].forwarder = roles[i];
+  } else if (fs_.has_value() && calm_rounds_ > 0) {
+    // Outside learning rounds in calm networks, frozen passive roles stay.
+    const auto& roles = fs_->roles();
+    for (std::size_t i = 0; i < states_.size(); ++i)
+      states_[i].forwarder = roles[i];
+  } else {
+    // "Under interference, all devices are active."
+    for (auto& s : states_) s.forwarder = true;
+  }
+  out.active_forwarders = static_cast<int>(std::count_if(
+      states_.begin(), states_.end(),
+      [](const lwb::NodeState& s) { return s.forwarder; }));
+
+  // --- Execute the round.
+  lwb::RoundResult rr = executor_.run_round(time_, round_idx_, coordinator_,
+                                            sources, next_n_tx_, states_, rng_);
+  process_round(rr, sources, out);
+
+  // --- Close the adaptation loop.
+  if (mab_round) {
+    fs_->end_round(local_view_[static_cast<std::size_t>(fs_->current_learner())]);
+  }
+  if (fs_.has_value()) fs_->apply_breaking_penalty(local_view_);
+  if (!mab_round) {
+    next_n_tx_ = controller_->decide(
+        snapshots_[static_cast<std::size_t>(coordinator_)],
+        out.coordinator_lossless, next_n_tx_);
+    DIMMER_CHECK(next_n_tx_ >= 1 && next_n_tx_ <= cfg_.n_max);
+  }
+  calm_rounds_ = out.coordinator_lossless ? calm_rounds_ + 1 : 0;
+
+  time_ += cfg_.round_period;
+  ++round_idx_;
+  return out;
+}
+
+void DimmerNetwork::process_round(const lwb::RoundResult& rr,
+                                  const std::vector<phy::NodeId>& sources,
+                                  RoundStats& out) {
+  const int n = topo_->size();
+  const sim::TimeUs slot_len = cfg_.round.slot_len_us;
+  const double slot_ms = sim::to_ms(slot_len);
+  const phy::NodeId sink_id = sink();
+
+  auto failed = [&](phy::NodeId i) {
+    return states_[static_cast<std::size_t>(i)].failed;
+  };
+  auto synced = [&](phy::NodeId i) {
+    return !failed(i) && states_[static_cast<std::size_t>(i)].sync_age <=
+                             cfg_.round.max_sync_age;
+  };
+
+  // Control slot energy.
+  for (phy::NodeId i = 0; i < n; ++i)
+    stats_[static_cast<std::size_t>(i)].record_energy_only_slot(
+        rr.control.nodes[static_cast<std::size_t>(i)].radio_on_us);
+
+  // Per-node local reliability view accumulators for this round.
+  std::vector<int> rx_ok(static_cast<std::size_t>(n), 0);
+  std::vector<int> rx_expected(static_cast<std::size_t>(n), 0);
+  std::vector<double> worst_header(static_cast<std::size_t>(n), 1.0);
+
+  long delivered_pairs = 0, expected_pairs = 0;
+  bool coord_missed = false;
+
+  out.sink_received.assign(sources.size(), false);
+
+  for (std::size_t k = 0; k < rr.data.size(); ++k) {
+    const lwb::DataSlotOutcome& slot = rr.data[k];
+    const phy::NodeId s = slot.source;
+
+    // The source freezes its feedback header *before* its slot (feedback
+    // latency, §IV-E); quantization through the 2-byte wire format applies.
+    FeedbackHeader header = stats_[static_cast<std::size_t>(s)].snapshot();
+    double hdr_rel = decode_reliability(header);
+    double hdr_radio = decode_radio_on_ms(header, slot_ms);
+
+    for (phy::NodeId r = 0; r < n; ++r) {
+      if (r == s) continue;
+      if (failed(r)) continue;  // a crashed node is not a destination
+      ++expected_pairs;
+      bool got = slot.source_synced && synced(r) &&
+                 slot.flood.nodes[static_cast<std::size_t>(r)].received;
+      if (got) {
+        ++delivered_pairs;
+        auto& entry =
+            snapshots_[static_cast<std::size_t>(r)].entries[static_cast<std::size_t>(s)];
+        entry.reliability = hdr_rel;
+        entry.radio_on_ms = hdr_radio;
+        entry.round = round_idx_;
+        entry.ever_heard = true;
+        worst_header[static_cast<std::size_t>(r)] =
+            std::min(worst_header[static_cast<std::size_t>(r)], hdr_rel);
+      }
+      if (r == sink_id) out.sink_received[k] = got;
+      if (r == coordinator_ && !got) coord_missed = true;
+
+      // Local statistics: every node that knows the schedule expects this
+      // packet; desynchronized nodes know they are missing traffic.
+      sim::TimeUs radio = synced(r)
+                              ? (slot.source_synced
+                                     ? slot.flood.nodes[static_cast<std::size_t>(r)]
+                                           .radio_on_us
+                                     : slot_len)
+                              : slot_len;
+      stats_[static_cast<std::size_t>(r)].record_reception_slot(got, radio);
+      ++rx_expected[static_cast<std::size_t>(r)];
+      if (got) ++rx_ok[static_cast<std::size_t>(r)];
+    }
+
+    // The source's own slot costs energy but is not a reception opportunity.
+    sim::TimeUs src_radio =
+        slot.source_synced
+            ? slot.flood.nodes[static_cast<std::size_t>(s)].radio_on_us
+            : slot_len;
+    stats_[static_cast<std::size_t>(s)].record_energy_only_slot(src_radio);
+  }
+
+  // Refresh every node's own snapshot entry with exact local values.
+  for (phy::NodeId i = 0; i < n; ++i) {
+    if (failed(i)) continue;
+    auto& snap = snapshots_[static_cast<std::size_t>(i)];
+    snap.current_round = round_idx_;
+    auto& own = snap.entries[static_cast<std::size_t>(i)];
+    own.reliability = stats_[static_cast<std::size_t>(i)].reliability();
+    own.radio_on_ms = stats_[static_cast<std::size_t>(i)].radio_on_ms();
+    own.round = round_idx_;
+    own.ever_heard = true;
+  }
+
+  // Local reliability views for MAB rewards.
+  for (phy::NodeId i = 0; i < n; ++i) {
+    double own = rx_expected[static_cast<std::size_t>(i)] > 0
+                     ? static_cast<double>(rx_ok[static_cast<std::size_t>(i)]) /
+                           rx_expected[static_cast<std::size_t>(i)]
+                     : 1.0;
+    local_view_[static_cast<std::size_t>(i)] =
+        std::min(own, worst_header[static_cast<std::size_t>(i)]);
+  }
+
+  // Ground-truth round metrics.
+  out.reliability = expected_pairs > 0
+                        ? static_cast<double>(delivered_pairs) / expected_pairs
+                        : 1.0;
+  out.lossless = delivered_pairs == expected_pairs;
+
+  double radio_acc = 0.0;
+  int alive = 0;
+  for (phy::NodeId i = 0; i < n; ++i)
+    out.total_radio_on_us += rr.radio_on_us[static_cast<std::size_t>(i)];
+  for (phy::NodeId i = 0; i < n; ++i) {
+    if (failed(i)) continue;
+    ++alive;
+    double per_slot =
+        rr.awake_slots[static_cast<std::size_t>(i)] > 0
+            ? sim::to_ms(rr.radio_on_us[static_cast<std::size_t>(i)]) /
+                  rr.awake_slots[static_cast<std::size_t>(i)]
+            : 0.0;
+    radio_acc += per_slot;
+  }
+  out.radio_on_ms = alive > 0 ? radio_acc / alive : 0.0;
+
+  out.desynchronized = static_cast<int>(std::count_if(
+      states_.begin(), states_.end(), [&](const lwb::NodeState& s) {
+        return s.sync_age > cfg_.round.max_sync_age;
+      }));
+
+  // Coordinator's loss estimate: it must have heard every scheduled packet
+  // and every header it heard must report 100% reliability.
+  out.coordinator_lossless =
+      !coord_missed &&
+      worst_header[static_cast<std::size_t>(coordinator_)] >= 0.999;
+}
+
+}  // namespace dimmer::core

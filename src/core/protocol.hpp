@@ -1,0 +1,142 @@
+// The Dimmer protocol orchestrator.
+//
+// DimmerNetwork simulates an entire deployment running Dimmer (or one of the
+// baselines sharing its round structure): it executes LWB rounds over the
+// flood engine, maintains every node's statistics collector and global
+// snapshot, runs the coordinator's adaptivity controller at the end of each
+// round, and grants multi-armed-bandit learning turns during calm periods.
+//
+// The per-round data flow follows the paper's Fig. 1:
+//   control slot (schedule + N_TX command) -> data slots with piggybacked
+//   2-byte feedback headers -> coordinator aggregates feedback -> controller
+//   (DQN / PID / static) decides the next N_TX -> next round.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/forwarder.hpp"
+#include "core/stats_collector.hpp"
+#include "core/types.hpp"
+#include "lwb/round.hpp"
+#include "phy/interference.hpp"
+#include "phy/topology.hpp"
+#include "util/rng.hpp"
+
+namespace dimmer::core {
+
+struct ProtocolConfig {
+  lwb::RoundConfig round;
+  sim::TimeUs round_period = sim::seconds(4);  ///< paper: 4 s (1 s in D-Cube)
+  /// Wall-clock time the simulation starts at (affects day/night ambient
+  /// interference profiles; the paper runs some scenarios "during the day").
+  sim::TimeUs start_time = 0;
+  int initial_n_tx = 3;
+  int n_max = kNMax;
+  FeatureConfig features;
+  std::size_t stats_window_slots = 36;  ///< PRR window: ~two rounds of slots
+  std::size_t radio_window_slots = 20;  ///< radio-on window: ~one round
+  /// Collection sink for point-to-point reliability; -1 = the coordinator.
+  phy::NodeId sink = -1;
+  /// Nodes accounted in the interference evaluation (empty = all; §IV-E).
+  std::vector<phy::NodeId> feedback_nodes;
+  /// Snapshot freshness window in rounds (see GlobalSnapshot).
+  int feedback_freshness_rounds = 1;
+  /// Enable the distributed forwarder selection (MAB).
+  bool forwarder_selection = false;
+  ForwarderConfig forwarder;
+  /// The coordinator allows an MAB learning round only after this many
+  /// consecutive lossless rounds ("If no interference is detected...").
+  int mab_calm_rounds = 2;
+};
+
+/// Ground-truth and coordinator-view metrics of one executed round.
+struct RoundStats {
+  std::uint64_t round = 0;
+  sim::TimeUs start_us = 0;
+  int n_tx = 0;               ///< value commanded in this round's control slot
+  bool mab_round = false;     ///< true if this was an MAB learning round
+  int active_forwarders = 0;
+
+  double reliability = 1.0;   ///< delivered (slot,destination) pairs ratio
+  bool lossless = true;       ///< ground truth: every pair delivered
+  double radio_on_ms = 0.0;   ///< mean per-slot radio-on across nodes
+  sim::TimeUs total_radio_on_us = 0;  ///< summed across all nodes (for duty)
+  bool coordinator_lossless = true;  ///< the coordinator's own estimate
+  int desynchronized = 0;     ///< nodes without a usable schedule
+
+  std::vector<phy::NodeId> sources;  ///< data-slot sources, slot order
+  std::vector<bool> sink_received;   ///< per data slot: sink got the packet
+};
+
+class DimmerNetwork {
+ public:
+  /// The controller decides N_TX each round; pass a StaticController for
+  /// plain LWB, a DqnController for Dimmer, or the PID baseline.
+  DimmerNetwork(const phy::Topology& topo,
+                const phy::InterferenceField& interference, ProtocolConfig cfg,
+                std::unique_ptr<AdaptivityController> controller,
+                phy::NodeId coordinator, std::uint64_t seed);
+
+  /// Executes one round with the given data-slot sources and advances time
+  /// by the round period.
+  RoundStats run_round(const std::vector<phy::NodeId>& sources);
+
+  // -- Introspection --------------------------------------------------------
+  sim::TimeUs now() const { return time_; }
+  std::uint64_t round_index() const { return round_idx_; }
+  int commanded_n_tx() const { return next_n_tx_; }
+  phy::NodeId coordinator() const { return coordinator_; }
+  phy::NodeId sink() const;
+  const GlobalSnapshot& snapshot(phy::NodeId n) const;
+  const StatsCollector& stats(phy::NodeId n) const;
+  const AdaptivityController& controller() const { return *controller_; }
+  const ForwarderSelection* forwarder_selection() const {
+    return fs_ ? &*fs_ : nullptr;
+  }
+  const ProtocolConfig& config() const { return cfg_; }
+  const lwb::RoundExecutor& executor() const { return executor_; }
+
+  /// A node's local view of the last round's reliability (used for MAB
+  /// rewards): its own reception ratio combined with the worst feedback
+  /// header it heard.
+  double local_reliability_view(phy::NodeId n) const;
+
+  /// Crash-fault injection: mark a node failed (radio permanently off) or
+  /// recovered. The coordinator cannot be failed. Note that the coordinator
+  /// cannot distinguish a crashed node from a jammed one: unless the node is
+  /// removed from the feedback subset, its missing feedback keeps reading as
+  /// 0% reliability and the controller escalates N_TX (by design — see the
+  /// fault-injection tests).
+  void set_node_failed(phy::NodeId n, bool failed);
+  bool node_failed(phy::NodeId n) const;
+
+ private:
+  void process_round(const lwb::RoundResult& rr,
+                     const std::vector<phy::NodeId>& sources,
+                     RoundStats& out);
+
+  const phy::Topology* topo_;
+  ProtocolConfig cfg_;
+  lwb::RoundExecutor executor_;
+  std::unique_ptr<AdaptivityController> controller_;
+  phy::NodeId coordinator_;
+  util::Pcg32 rng_;
+
+  std::vector<lwb::NodeState> states_;
+  std::vector<StatsCollector> stats_;
+  std::vector<GlobalSnapshot> snapshots_;
+  std::optional<ForwarderSelection> fs_;
+
+  sim::TimeUs time_ = 0;
+  std::uint64_t round_idx_ = 0;
+  int next_n_tx_ = 3;
+  int calm_rounds_ = 0;
+  // Learner's local view of the last executed round (for MAB end_round).
+  std::vector<double> local_view_;
+};
+
+}  // namespace dimmer::core

@@ -1,0 +1,128 @@
+#include "core/scenarios.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dimmer::core {
+
+namespace {
+struct Bounds {
+  double minx = 1e18, maxx = -1e18, miny = 1e18, maxy = -1e18;
+};
+
+Bounds bounds_of(const phy::Topology& topo) {
+  Bounds b;
+  for (int i = 0; i < topo.size(); ++i) {
+    phy::Vec2 p = topo.position(i);
+    b.minx = std::min(b.minx, p.x);
+    b.maxx = std::max(b.maxx, p.x);
+    b.miny = std::min(b.miny, p.y);
+    b.maxy = std::max(b.maxy, p.y);
+  }
+  return b;
+}
+}  // namespace
+
+phy::Vec2 office_jammer_position(const phy::Topology& topo, int which) {
+  DIMMER_REQUIRE(which == 0 || which == 1, "two jammers exist: 0 and 1");
+  Bounds b = bounds_of(topo);
+  double midy = 0.5 * (b.miny + b.maxy);
+  if (which == 0)  // nearer the coordinator's end, mid corridor
+    return {b.minx + 0.30 * (b.maxx - b.minx), midy};
+  return {b.minx + 0.72 * (b.maxx - b.minx), midy};
+}
+
+void add_static_jamming(phy::InterferenceField& field,
+                        const phy::Topology& topo, double duty,
+                        phy::Channel channel) {
+  DIMMER_REQUIRE(duty >= 0.0 && duty <= 0.95, "duty out of [0,0.95]");
+  if (duty <= 0.0) return;
+  for (int j = 0; j < 2; ++j) {
+    auto cfg = phy::BurstJammer::jamlab(office_jammer_position(topo, j), duty,
+                                        channel,
+                                        0x1A77ULL + static_cast<std::uint64_t>(j));
+    // Offset the second jammer's phase so bursts are not synchronized.
+    cfg.phase_us = j == 0 ? 0 : cfg.period_us / 2;
+    field.add(std::make_unique<phy::BurstJammer>(cfg));
+  }
+}
+
+void add_dynamic_jamming(phy::InterferenceField& field,
+                         const phy::Topology& topo, phy::Channel channel,
+                         sim::TimeUs origin) {
+  // 0-7 min: calm | 7-12 min: 30% | 12-17 min: calm | 17-22 min: 5% | calm.
+  struct Phase {
+    double duty;
+    sim::TimeUs start, stop;
+  };
+  const Phase phases[] = {
+      {0.30, sim::minutes(7), sim::minutes(12)},
+      {0.05, sim::minutes(17), sim::minutes(22)},
+  };
+  for (const Phase& ph : phases) {
+    for (int j = 0; j < 2; ++j) {
+      auto cfg = phy::BurstJammer::jamlab(
+          office_jammer_position(topo, j), ph.duty, channel,
+          0x2B88ULL + static_cast<std::uint64_t>(j) +
+              static_cast<std::uint64_t>(ph.start));
+      cfg.start_us = origin + ph.start;
+      cfg.stop_us = origin + ph.stop;
+      cfg.phase_us = j == 0 ? 0 : cfg.period_us / 2;
+      field.add(std::make_unique<phy::BurstJammer>(cfg));
+    }
+  }
+}
+
+void add_office_ambient(phy::InterferenceField& field,
+                        const phy::Topology& topo, std::uint64_t seed) {
+  Bounds b = bounds_of(topo);
+  // Background emitters spread through the offices (WiFi APs, Bluetooth
+  // PANs from cellphones and headphones) so most of the deployment sees
+  // occasional daytime bursts.
+  const double fx[] = {0.15, 0.5, 0.85};
+  for (int i = 0; i < 3; ++i) {
+    phy::AmbientInterferer::Config cfg;
+    cfg.position = {b.minx + fx[i] * (b.maxx - b.minx),
+                    0.5 * (b.miny + b.maxy) + 2.0};
+    cfg.seed = util::hash_u64(seed, static_cast<std::uint64_t>(i));
+    cfg.tag = 0x3C99ULL + static_cast<std::uint64_t>(i);
+    field.add(std::make_unique<phy::AmbientInterferer>(cfg));
+  }
+}
+
+void add_training_schedule(phy::InterferenceField& field,
+                           const phy::Topology& topo, sim::TimeUs until_time,
+                           std::uint64_t seed, phy::Channel channel) {
+  DIMMER_REQUIRE(until_time > 0, "until_time must be positive");
+  const sim::TimeUs duration = until_time;
+  util::Pcg32 rng(seed);
+  sim::TimeUs t = 0;
+  std::uint64_t segment = 0;
+  while (t < duration) {
+    // Segment lengths of 1.5-6 minutes; ~40% calm, otherwise a randomized
+    // JamLab duty between 5% and 35%, from one or both jammers.
+    sim::TimeUs len = sim::seconds(rng.uniform_int(90, 360));
+    bool calm = rng.uniform() < 0.4;
+    if (!calm) {
+      double duty = rng.uniform(0.05, 0.35);
+      int jammers = rng.bernoulli(0.7) ? 2 : 1;
+      for (int j = 0; j < jammers; ++j) {
+        auto cfg = phy::BurstJammer::jamlab(
+            office_jammer_position(topo, j), duty, channel,
+            util::hash_u64(seed, segment, static_cast<std::uint64_t>(j)));
+        cfg.start_us = t;
+        cfg.stop_us = std::min(t + len, duration);
+        cfg.phase_us = j == 0 ? 0 : cfg.period_us / 2;
+        field.add(std::make_unique<phy::BurstJammer>(cfg));
+      }
+    }
+    t += len;
+    ++segment;
+  }
+  add_office_ambient(field, topo, util::hash_u64(seed, 0xA3BULL));
+}
+
+}  // namespace dimmer::core

@@ -1,0 +1,48 @@
+// Interference scenario factories mirroring the paper's evaluation setups
+// (§V-A "Interference scenarios") plus the schedule used to collect training
+// traces. All scenarios are deterministic given their seed.
+#pragma once
+
+#include <cstdint>
+
+#include "phy/interference.hpp"
+#include "phy/topology.hpp"
+#include "sim/time.hpp"
+
+namespace dimmer::core {
+
+/// The paper's two TelosB jammer positions on the office testbed (Fig. 4a):
+/// one near the middle of the deployment (moderately perturbing the
+/// coordinator's reception) and one toward the far end.
+phy::Vec2 office_jammer_position(const phy::Topology& topo, int which);
+
+/// Static JamLab interference at a given occupancy (e.g. 0.30 = "a 13 ms
+/// burst at 0 dBm, repeated every 43 ms"), on `channel`, from both office
+/// jammers. duty = 0 adds nothing.
+void add_static_jamming(phy::InterferenceField& field,
+                        const phy::Topology& topo, double duty,
+                        phy::Channel channel = phy::kControlChannel);
+
+/// The Fig. 4c/4d dynamic scenario: jammers off for 7 min, 30% interference
+/// for 5 min, off for 5 min, 5% interference for 5 min, off afterwards.
+void add_dynamic_jamming(phy::InterferenceField& field,
+                         const phy::Topology& topo,
+                         phy::Channel channel = phy::kControlChannel,
+                         sim::TimeUs origin = 0);
+
+/// Daytime office background (uncontrolled WiFi + Bluetooth PANs) — the
+/// paper's testbed "shares the spectrum ... during work hours".
+void add_office_ambient(phy::InterferenceField& field,
+                        const phy::Topology& topo, std::uint64_t seed = 5);
+
+/// Training-trace schedule: alternating segments of calm and JamLab bursts
+/// with randomized duty cycles and durations, "collected over multiple days,
+/// for different times of the day", predominantly 802.15.4 jamming.
+/// Segments cover absolute simulation time [0, until_time); pass the end of
+/// your collection window (start time + steps * round period).
+void add_training_schedule(phy::InterferenceField& field,
+                           const phy::Topology& topo, sim::TimeUs until_time,
+                           std::uint64_t seed,
+                           phy::Channel channel = phy::kControlChannel);
+
+}  // namespace dimmer::core

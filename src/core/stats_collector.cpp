@@ -1,0 +1,44 @@
+#include "core/stats_collector.hpp"
+
+#include "util/check.hpp"
+
+namespace dimmer::core {
+
+StatsCollector::StatsCollector(std::size_t prr_window_slots, double slot_ms,
+                               std::size_t radio_window_slots)
+    : slot_ms_(slot_ms),
+      prr_(prr_window_slots),
+      radio_ms_avg_(radio_window_slots) {
+  DIMMER_REQUIRE(slot_ms > 0.0, "slot_ms must be positive");
+}
+
+void StatsCollector::record_reception_slot(bool received,
+                                           sim::TimeUs radio_on_us) {
+  prr_.add(received ? 1.0 : 0.0);
+  radio_ms_avg_.add(sim::to_ms(radio_on_us));
+  ++rx_slots_;
+}
+
+void StatsCollector::record_energy_only_slot(sim::TimeUs radio_on_us) {
+  radio_ms_avg_.add(sim::to_ms(radio_on_us));
+}
+
+double StatsCollector::reliability() const {
+  return prr_.count() == 0 ? 1.0 : prr_.mean();
+}
+
+double StatsCollector::radio_on_ms() const {
+  return radio_ms_avg_.count() == 0 ? 0.0 : radio_ms_avg_.mean();
+}
+
+FeedbackHeader StatsCollector::snapshot() const {
+  return encode_feedback(reliability(), radio_on_ms(), slot_ms_);
+}
+
+void StatsCollector::reset() {
+  prr_.reset();
+  radio_ms_avg_.reset();
+  rx_slots_ = 0;
+}
+
+}  // namespace dimmer::core

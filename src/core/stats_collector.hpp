@@ -1,0 +1,56 @@
+// Per-node statistics collector (paper Fig. 3, "statistics collector").
+//
+// "Each device continuously monitors its performance, i.e., its local packet
+// reception rate and average radio-on time" over a sliding window of recent
+// slots. The snapshot() a source embeds in its data packet is taken *before*
+// its own slot (§IV-E "Feedback latency").
+#pragma once
+
+#include <cstddef>
+
+#include "core/feedback.hpp"
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+
+namespace dimmer::core {
+
+class StatsCollector {
+ public:
+  /// `prr_window_slots`: slots covered by the packet-reception-rate average
+  /// (roughly two rounds in the paper's deployments — loss memory).
+  /// `radio_window_slots`: slots covered by the radio-on average ("radio-on
+  /// time averaged over the last floods"). This window must be short —
+  /// about one round — so that the energy feedback tracks the *current*
+  /// N_TX instead of lagging a parameter switch and confusing the DQN.
+  /// `slot_ms`: maximum slot duration, for radio-on normalization.
+  explicit StatsCollector(std::size_t prr_window_slots = 36,
+                          double slot_ms = 20.0,
+                          std::size_t radio_window_slots = 20);
+
+  /// Record a slot in which this node expected to receive a packet.
+  void record_reception_slot(bool received, sim::TimeUs radio_on_us);
+
+  /// Record a slot with radio cost but no reception expectation (the node's
+  /// own TX slot, control slots, silent slots).
+  void record_energy_only_slot(sim::TimeUs radio_on_us);
+
+  /// Packet reception rate over the window, in [0,1]; 1.0 before any data.
+  double reliability() const;
+
+  /// Average radio-on per slot over the window, in milliseconds.
+  double radio_on_ms() const;
+
+  /// Quantized 2-byte header of the current values.
+  FeedbackHeader snapshot() const;
+
+  std::size_t reception_slots_seen() const { return rx_slots_; }
+  void reset();
+
+ private:
+  double slot_ms_;
+  util::WindowMean prr_;
+  util::WindowMean radio_ms_avg_;
+  std::size_t rx_slots_ = 0;
+};
+
+}  // namespace dimmer::core

@@ -1,0 +1,63 @@
+// Shared Dimmer protocol types.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/topology.hpp"
+#include "sim/time.hpp"
+
+namespace dimmer::core {
+
+/// Paper §IV-B: "N_max = 8 the maximum number of retransmissions achievable
+/// within a slot".
+constexpr int kNMax = 8;
+
+/// Reward trade-off constant C = 3/10 (paper Eq. 3).
+constexpr double kRewardC = 0.3;
+
+/// The paper's reward function (Eq. 3): 1 - C * N_TX/N_max on a lossless
+/// round, 0 otherwise.
+inline double dimmer_reward(bool lossless, int n_tx, int n_max = kNMax,
+                            double c = kRewardC) {
+  return lossless ? 1.0 - c * static_cast<double>(n_tx) /
+                              static_cast<double>(n_max)
+                  : 0.0;
+}
+
+/// One node's latest performance feedback as recorded in a global snapshot.
+struct NodeFeedback {
+  double reliability = 0.0;   ///< packet reception rate in [0,1]
+  double radio_on_ms = 20.0;  ///< average radio-on time per slot
+  std::uint64_t round = 0;    ///< round in which the feedback was heard
+  bool ever_heard = false;
+  /// §IV-E Scalability: "it is possible to define a subset of nodes that
+  /// will not be accounted in the interference evaluation". Unaccounted
+  /// nodes are skipped by the feature builder and the PID baseline.
+  bool accounted = true;
+};
+
+/// "Dimmer continuously builds a global snapshot of the network" (§IV-D).
+/// Each device maintains one; the coordinator's instance feeds the DQN and
+/// nodes' instances feed the forwarder-selection rewards.
+struct GlobalSnapshot {
+  std::vector<NodeFeedback> entries;  ///< one per node
+  std::uint64_t current_round = 0;
+  /// How many rounds a heard value stays fresh. 1 = feedback must arrive in
+  /// the current round (the paper's 4 s all-to-all rounds, where every node
+  /// reports every round). Aperiodic scenarios with sparse schedules use a
+  /// wider window so silent-but-healthy sources do not read as jammed.
+  std::uint64_t freshness_rounds = 1;
+
+  explicit GlobalSnapshot(int n_nodes = 0)
+      : entries(static_cast<std::size_t>(n_nodes)) {}
+
+  /// Fresh entries are consumed as reported; stale or never-heard entries
+  /// are treated pessimistically (0% reliability, 100% radio-on).
+  bool fresh(phy::NodeId n) const {
+    const auto& e = entries[static_cast<std::size_t>(n)];
+    return e.ever_heard && e.round + freshness_rounds > current_round;
+  }
+};
+
+}  // namespace dimmer::core

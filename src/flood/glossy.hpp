@@ -1,0 +1,99 @@
+// Glossy synchronous-transmission flood engine.
+//
+// A flood is simulated at packet granularity: time inside a slot is divided
+// into steps of one frame airtime plus a software delay. The initiator
+// transmits at step 0; any node that first receives at step t transmits at
+// t+1 and then alternates RX/TX (Glossy's relay counting) until it has spent
+// its retransmission budget N_TX, after which it turns its radio off.
+// N_TX = 0 marks a *passive receiver* (Dimmer's forwarder selection): the
+// node switches its radio off right after its first successful reception.
+//
+// Reception combines the powers of all concurrent synchronized transmitters
+// (they send identical bits within <0.5 us, so there is no collision, only
+// partially-coherent combining) against noise plus sampled interference.
+// Bit-level constructive-interference fidelity is *not* modelled; see
+// DESIGN.md ("Substitutions") for why slot-level behaviour is what Dimmer's
+// control loop observes.
+#pragma once
+
+#include <vector>
+
+#include "phy/channels.hpp"
+#include "phy/interference.hpp"
+#include "phy/topology.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace dimmer::flood {
+
+/// Per-node flood configuration.
+struct NodeFloodConfig {
+  /// Retransmission budget. 0 = passive receiver (radio off after first RX).
+  /// The initiator always transmits at least once regardless.
+  int n_tx = 3;
+  /// False: the node sits this flood out entirely (e.g. desynchronized).
+  bool participates = true;
+};
+
+/// Flood-wide parameters.
+struct FloodParams {
+  phy::Channel channel = phy::kControlChannel;
+  sim::TimeUs slot_start_us = 0;        ///< absolute time (interference phase)
+  sim::TimeUs slot_len_us = sim::ms(20);///< paper: slots last at most 20 ms
+  int payload_bytes = 30;               ///< paper: 30 B incl. LWB+Dimmer hdrs
+  double tx_power_dbm = 0.0;            ///< paper: 0 dBm
+  /// Fraction of the non-strongest concurrent power that combines usefully
+  /// at the receiver (1 = perfectly coherent, 0 = only capture of strongest).
+  double coherence_gain = 0.5;
+  /// Software turnaround between RX and TX (radio stays on).
+  sim::TimeUs processing_us = 25;
+};
+
+/// Per-node flood outcome.
+struct NodeFloodResult {
+  bool received = false;   ///< got the packet (initiator: trivially true)
+  int first_rx_step = -1;  ///< step of first successful reception
+  int transmissions = 0;   ///< times this node transmitted the packet
+  sim::TimeUs radio_on_us = 0;
+};
+
+/// Whole-flood outcome.
+struct FloodResult {
+  std::vector<NodeFloodResult> nodes;
+  int steps_simulated = 0;
+  phy::NodeId initiator = -1;
+
+  /// Number of participating non-initiator nodes that received the packet.
+  int receiver_count() const;
+  /// received / participating non-initiator nodes (1.0 if none participate).
+  double delivery_ratio() const;
+
+ private:
+  friend class GlossyFlood;
+  std::vector<bool> participated_;
+};
+
+/// Stateless flood simulator bound to a topology + interference field.
+class GlossyFlood {
+ public:
+  GlossyFlood(const phy::Topology& topo, const phy::InterferenceField& interf)
+      : topo_(&topo), interf_(&interf) {}
+
+  /// Number of airtime steps that fit in a slot.
+  static int max_steps(const FloodParams& p, const phy::RadioConstants& radio);
+
+  /// Step length (airtime + processing) in microseconds.
+  static sim::TimeUs step_len_us(const FloodParams& p,
+                                 const phy::RadioConstants& radio);
+
+  /// Runs one flood. `configs` must have one entry per topology node.
+  FloodResult run(phy::NodeId initiator,
+                  const std::vector<NodeFloodConfig>& configs,
+                  const FloodParams& params, util::Pcg32& rng) const;
+
+ private:
+  const phy::Topology* topo_;
+  const phy::InterferenceField* interf_;
+};
+
+}  // namespace dimmer::flood

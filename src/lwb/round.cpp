@@ -1,0 +1,172 @@
+#include "lwb/round.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dimmer::lwb {
+
+RoundExecutor::RoundExecutor(const phy::Topology& topo,
+                             const phy::InterferenceField& interference,
+                             RoundConfig cfg)
+    : topo_(&topo), interf_(&interference), cfg_(std::move(cfg)) {
+  DIMMER_REQUIRE(phy::is_valid_channel(cfg_.control_channel),
+                 "invalid control channel");
+  for (phy::Channel c : cfg_.hop_sequence)
+    DIMMER_REQUIRE(phy::is_valid_channel(c), "invalid hopping channel");
+  DIMMER_REQUIRE(cfg_.max_sync_age >= 0, "max_sync_age must be >= 0");
+}
+
+phy::Channel RoundExecutor::data_channel(std::uint64_t round_index,
+                                         std::size_t slot_index) const {
+  if (cfg_.hop_sequence.empty()) return cfg_.control_channel;
+  return cfg_.hop_sequence[(round_index + slot_index) %
+                           cfg_.hop_sequence.size()];
+}
+
+sim::TimeUs RoundExecutor::round_duration(std::size_t n_data_slots) const {
+  auto slots = static_cast<sim::TimeUs>(n_data_slots + 1);
+  return slots * cfg_.slot_len_us +
+         static_cast<sim::TimeUs>(n_data_slots) * cfg_.slot_gap_us;
+}
+
+RoundResult RoundExecutor::run_round(sim::TimeUs start,
+                                     std::uint64_t round_index,
+                                     phy::NodeId coordinator,
+                                     const std::vector<phy::NodeId>& data_sources,
+                                     int next_n_tx,
+                                     std::vector<NodeState>& states,
+                                     util::Pcg32& rng) const {
+  const int n = topo_->size();
+  DIMMER_REQUIRE(coordinator >= 0 && coordinator < n,
+                 "coordinator out of range");
+  DIMMER_REQUIRE(static_cast<int>(states.size()) == n,
+                 "one NodeState per node required");
+  DIMMER_REQUIRE(next_n_tx >= 0, "negative n_tx");
+  DIMMER_REQUIRE(!states[static_cast<std::size_t>(coordinator)].failed,
+                 "coordinator must not be failed");
+  for (phy::NodeId s : data_sources)
+    DIMMER_REQUIRE(s >= 0 && s < n, "data source out of range");
+
+  RoundResult result;
+  result.radio_on_us.assign(static_cast<std::size_t>(n), 0);
+  result.awake_slots.assign(static_cast<std::size_t>(n), 0);
+  result.got_control.assign(static_cast<std::size_t>(n), false);
+  result.duration_us = round_duration(data_sources.size());
+
+  flood::GlossyFlood engine(*topo_, *interf_);
+
+  // --- Control slot: everyone listens (desynced nodes are trying to
+  // re-bootstrap on the control channel anyway).
+  {
+    flood::FloodParams params;
+    params.channel = cfg_.control_channel;
+    params.slot_start_us = start;
+    params.slot_len_us = cfg_.slot_len_us;
+    params.payload_bytes = cfg_.payload_bytes;
+    params.tx_power_dbm = cfg_.tx_power_dbm;
+    params.coherence_gain = cfg_.coherence_gain;
+
+    std::vector<flood::NodeFloodConfig> cfgs(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      auto& c = cfgs[static_cast<std::size_t>(i)];
+      // Desynchronized nodes cannot relay (they have no slot alignment);
+      // they listen only. Passive receivers do not relay either.
+      bool synced = states[static_cast<std::size_t>(i)].sync_age <=
+                    cfg_.max_sync_age;
+      bool relay = synced && (states[static_cast<std::size_t>(i)].forwarder ||
+                              i == coordinator);
+      c.n_tx = relay ? states[static_cast<std::size_t>(i)].n_tx : 0;
+      c.participates = !states[static_cast<std::size_t>(i)].failed;
+    }
+    result.control = engine.run(coordinator, cfgs, params, rng);
+
+    for (int i = 0; i < n; ++i) {
+      auto& s = states[static_cast<std::size_t>(i)];
+      if (s.failed) {
+        s.sync_age += 1;  // a crashed node silently falls out of sync
+        continue;
+      }
+      bool got = i == coordinator ||
+                 result.control.nodes[static_cast<std::size_t>(i)].received;
+      result.got_control[static_cast<std::size_t>(i)] = got;
+      if (got) {
+        s.sync_age = 0;
+        s.n_tx = next_n_tx;  // applied immediately after the control slot
+      } else {
+        s.sync_age += 1;
+      }
+      result.radio_on_us[static_cast<std::size_t>(i)] +=
+          result.control.nodes[static_cast<std::size_t>(i)].radio_on_us;
+      result.awake_slots[static_cast<std::size_t>(i)] += 1;
+    }
+  }
+
+  // --- Data slots.
+  sim::TimeUs slot_start = start + cfg_.slot_len_us + cfg_.slot_gap_us;
+  result.data.reserve(data_sources.size());
+  for (std::size_t k = 0; k < data_sources.size(); ++k) {
+    DataSlotOutcome out;
+    out.source = data_sources[k];
+    out.channel = data_channel(round_index, k);
+
+    auto synced = [&](phy::NodeId i) {
+      const auto& st = states[static_cast<std::size_t>(i)];
+      return !st.failed && st.sync_age <= cfg_.max_sync_age;
+    };
+    out.source_synced = synced(out.source);
+
+    if (out.source_synced) {
+      flood::FloodParams params;
+      params.channel = out.channel;
+      params.slot_start_us = slot_start;
+      params.slot_len_us = cfg_.slot_len_us;
+      params.payload_bytes = cfg_.payload_bytes;
+      params.tx_power_dbm = cfg_.tx_power_dbm;
+      params.coherence_gain = cfg_.coherence_gain;
+
+      std::vector<flood::NodeFloodConfig> cfgs(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        auto& c = cfgs[static_cast<std::size_t>(i)];
+        const auto& s = states[static_cast<std::size_t>(i)];
+        c.participates = synced(i);
+        // Passive receivers keep n_tx = 0 except in their own slot (the
+        // flood engine forces the initiator to transmit).
+        c.n_tx = (s.forwarder || i == coordinator) ? s.n_tx : 0;
+      }
+      out.flood = engine.run(out.source, cfgs, params, rng);
+
+      for (int i = 0; i < n; ++i) {
+        if (!synced(i)) continue;
+        result.radio_on_us[static_cast<std::size_t>(i)] +=
+            out.flood.nodes[static_cast<std::size_t>(i)].radio_on_us;
+        result.awake_slots[static_cast<std::size_t>(i)] += 1;
+      }
+    } else {
+      // Silent slot: synced nodes still listen the full slot for a packet
+      // that never comes (pessimistic accounting, as in the paper).
+      for (int i = 0; i < n; ++i) {
+        if (!synced(i)) continue;
+        result.radio_on_us[static_cast<std::size_t>(i)] += cfg_.slot_len_us;
+        result.awake_slots[static_cast<std::size_t>(i)] += 1;
+      }
+    }
+
+    // Desynchronized nodes burn bootstrap-listening energy equivalent to the
+    // slot length while scanning for a schedule. Crashed nodes are off.
+    for (int i = 0; i < n; ++i) {
+      const auto& st = states[static_cast<std::size_t>(i)];
+      if (!st.failed && st.sync_age > cfg_.max_sync_age) {
+        result.radio_on_us[static_cast<std::size_t>(i)] += cfg_.slot_len_us;
+        result.awake_slots[static_cast<std::size_t>(i)] += 1;
+      }
+    }
+
+    result.data.push_back(std::move(out));
+    slot_start += cfg_.slot_len_us + cfg_.slot_gap_us;
+  }
+
+  return result;
+}
+
+}  // namespace dimmer::lwb

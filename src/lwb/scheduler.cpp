@@ -1,0 +1,65 @@
+#include "lwb/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dimmer::lwb {
+
+std::size_t Scheduler::add_stream(phy::NodeId source, sim::TimeUs ipi,
+                                  sim::TimeUs now) {
+  DIMMER_REQUIRE(source >= 0, "invalid source");
+  DIMMER_REQUIRE(ipi > 0, "IPI must be positive");
+  streams_.push_back(Stream{source, ipi, now + ipi});
+  live_.push_back(true);
+  return streams_.size() - 1;
+}
+
+void Scheduler::remove_stream(std::size_t stream_id) {
+  DIMMER_REQUIRE(stream_id < streams_.size() && live_[stream_id],
+                 "unknown stream id");
+  live_[stream_id] = false;
+}
+
+std::size_t Scheduler::stream_count() const {
+  return static_cast<std::size_t>(
+      std::count(live_.begin(), live_.end(), true));
+}
+
+const Scheduler::Stream& Scheduler::stream(std::size_t stream_id) const {
+  DIMMER_REQUIRE(stream_id < streams_.size() && live_[stream_id],
+                 "unknown stream id");
+  return streams_[stream_id];
+}
+
+std::vector<phy::NodeId> Scheduler::schedule_round(sim::TimeUs now,
+                                                   std::size_t max_slots) {
+  DIMMER_REQUIRE(max_slots > 0, "max_slots must be positive");
+  // Due streams, earliest deadline first; stable on stream id.
+  std::vector<std::size_t> due;
+  for (std::size_t i = 0; i < streams_.size(); ++i)
+    if (live_[i] && streams_[i].next_due <= now) due.push_back(i);
+  std::sort(due.begin(), due.end(), [&](std::size_t a, std::size_t b) {
+    return streams_[a].next_due != streams_[b].next_due
+               ? streams_[a].next_due < streams_[b].next_due
+               : a < b;
+  });
+
+  std::vector<phy::NodeId> slots;
+  for (std::size_t i : due) {
+    if (slots.size() >= max_slots) break;  // carry over to the next round
+    slots.push_back(streams_[i].source);
+    streams_[i].next_due += streams_[i].ipi;
+  }
+  return slots;
+}
+
+sim::TimeUs Scheduler::next_deadline() const {
+  sim::TimeUs best = -1;
+  for (std::size_t i = 0; i < streams_.size(); ++i)
+    if (live_[i] && (best < 0 || streams_[i].next_due < best))
+      best = streams_[i].next_due;
+  return best;
+}
+
+}  // namespace dimmer::lwb

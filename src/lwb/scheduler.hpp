@@ -1,0 +1,53 @@
+// Centralized LWB stream scheduler.
+//
+// LWB's host "computes a schedule that satisfies flows requested by
+// (message-)source nodes and controls the periodicity of communication"
+// (§II-B). This scheduler implements that substrate: sources register
+// streams with an inter-packet interval (IPI); each round the host
+// allocates data slots to the streams that are due, oldest-deadline first,
+// under a per-round slot budget, carrying over anything that did not fit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/topology.hpp"
+#include "sim/time.hpp"
+
+namespace dimmer::lwb {
+
+class Scheduler {
+ public:
+  struct Stream {
+    phy::NodeId source = -1;
+    sim::TimeUs ipi = 0;       ///< inter-packet interval
+    sim::TimeUs next_due = 0;  ///< next time a slot is owed
+  };
+
+  /// Registers a periodic stream; the first slot is due at `now + ipi`.
+  /// A source may hold several streams. Returns a stream id.
+  std::size_t add_stream(phy::NodeId source, sim::TimeUs ipi, sim::TimeUs now);
+
+  /// Removes a stream by id; ids of other streams remain valid.
+  void remove_stream(std::size_t stream_id);
+
+  std::size_t stream_count() const;
+  const Stream& stream(std::size_t stream_id) const;
+
+  /// Allocates data slots for the round starting at `now`: every stream
+  /// whose deadline has passed gets a slot, earliest deadline first, up to
+  /// `max_slots`; allocated streams advance their deadline by their IPI
+  /// (missed intervals accumulate, so backlog drains on later rounds).
+  std::vector<phy::NodeId> schedule_round(sim::TimeUs now,
+                                          std::size_t max_slots);
+
+  /// Earliest pending deadline (or -1 with no streams) — lets a host stretch
+  /// the round period when nothing is due, LWB's energy lever.
+  sim::TimeUs next_deadline() const;
+
+ private:
+  std::vector<Stream> streams_;
+  std::vector<bool> live_;
+};
+
+}  // namespace dimmer::lwb

@@ -1,0 +1,58 @@
+// IEEE 802.15.4 (2.4 GHz) channel plan and its overlap with IEEE 802.11.
+//
+// 802.15.4 defines channels 11..26 at 2405 + 5*(k-11) MHz, 2 MHz wide.
+// A 20 MHz WiFi channel w is centered at 2412 + 5*(w-1) MHz and blankets the
+// four-ish 802.15.4 channels within +/-11 MHz of its center. Channel 26
+// (2480 MHz) escapes WiFi channels 1-11 in most regulatory domains, which is
+// why the paper runs its control slots there.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dimmer::phy {
+
+using Channel = std::uint8_t;
+
+constexpr Channel kFirstChannel = 11;
+constexpr Channel kLastChannel = 26;
+constexpr int kNumChannels = kLastChannel - kFirstChannel + 1;
+
+/// Channel the paper uses for all control slots.
+constexpr Channel kControlChannel = 26;
+
+constexpr bool is_valid_channel(Channel c) {
+  return c >= kFirstChannel && c <= kLastChannel;
+}
+
+/// Center frequency in MHz of an 802.15.4 channel.
+constexpr double channel_mhz(Channel c) { return 2405.0 + 5.0 * (c - 11); }
+
+/// Center frequency in MHz of a 2.4 GHz WiFi channel (1..13).
+constexpr double wifi_channel_mhz(int w) { return 2412.0 + 5.0 * (w - 1); }
+
+/// 802.15.4 channels blanketed by a given WiFi channel (within +/-11 MHz).
+inline std::vector<Channel> channels_under_wifi(int wifi_channel) {
+  DIMMER_REQUIRE(wifi_channel >= 1 && wifi_channel <= 13,
+                 "WiFi channel out of 1..13");
+  std::vector<Channel> out;
+  for (Channel c = kFirstChannel; c <= kLastChannel; ++c) {
+    double delta = channel_mhz(c) - wifi_channel_mhz(wifi_channel);
+    if (delta >= -11.0 && delta <= 11.0) out.push_back(c);
+  }
+  return out;
+}
+
+/// The paper's slot-based hopping: "a static, global hopping-sequence is used
+/// for data slots, while all control slots are executed on channel 26". The
+/// sequence spreads across the band so that at least some slots land outside
+/// whatever stripe of the spectrum WiFi currently occupies.
+inline const std::array<Channel, 4>& default_hopping_sequence() {
+  static const std::array<Channel, 4> seq = {15, 20, 22, 26};
+  return seq;
+}
+
+}  // namespace dimmer::phy

@@ -1,0 +1,22 @@
+// 2D geometry for node placement.
+#pragma once
+
+#include <cmath>
+
+namespace dimmer::phy {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Vec2 operator*(Vec2 a, double s) { return {a.x * s, a.y * s}; }
+  friend bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
+};
+
+inline double distance(Vec2 a, Vec2 b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+}  // namespace dimmer::phy

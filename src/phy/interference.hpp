@@ -1,0 +1,174 @@
+// Interference sources.
+//
+// Every source is a positioned transmitter with a *pure* activity function:
+// given an interval and a channel it reports which fraction of the interval
+// the source occupies. Purity (no mutable state) lets the flood engine query
+// arbitrary time windows in any order while staying fully deterministic.
+//
+// Three families mirror the paper's scenarios:
+//  - BurstJammer: JamLab-style periodic 13 ms bursts (controlled 802.15.4
+//    interference, §V-A), plus on/off scenario windows.
+//  - WifiInterferer: WiFi-like traffic bursts blanketing the 802.15.4
+//    channels under a WiFi channel (D-Cube levels, §V-E).
+//  - AmbientInterferer: low-duty office background (WiFi/Bluetooth PANs
+//    "outside of our control ... during work hours").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "phy/channels.hpp"
+#include "phy/geometry.hpp"
+#include "phy/topology.hpp"
+#include "sim/time.hpp"
+
+namespace dimmer::phy {
+
+class InterferenceSource {
+ public:
+  virtual ~InterferenceSource() = default;
+
+  /// Fraction of [t0,t1) during which the source transmits on `ch`, in [0,1].
+  virtual double activity(sim::TimeUs t0, sim::TimeUs t1, Channel ch) const = 0;
+
+  virtual Vec2 position() const = 0;
+  virtual double tx_power_dbm() const = 0;
+
+  /// Stable identity for shadowing draws toward network nodes.
+  virtual std::uint64_t shadow_tag() const = 0;
+};
+
+/// JamLab-style periodic jammer: `burst` of carrier every `period`, within an
+/// optional [start,stop) scenario window. Channels are an explicit set.
+class BurstJammer : public InterferenceSource {
+ public:
+  struct Config {
+    Vec2 position{};
+    double tx_power_dbm = 0.0;
+    sim::TimeUs burst_us = sim::ms(13);   ///< "13 ms TX bursts" (§V-A)
+    sim::TimeUs period_us = sim::ms(130); ///< e.g. 10% duty
+    sim::TimeUs phase_us = 0;
+    sim::TimeUs start_us = 0;
+    sim::TimeUs stop_us = -1;  ///< -1: never stops
+    std::vector<Channel> channels{kControlChannel};
+    std::uint64_t tag = 1;
+  };
+
+  explicit BurstJammer(Config cfg);
+
+  double activity(sim::TimeUs t0, sim::TimeUs t1, Channel ch) const override;
+  Vec2 position() const override { return cfg_.position; }
+  double tx_power_dbm() const override { return cfg_.tx_power_dbm; }
+  std::uint64_t shadow_tag() const override { return cfg_.tag; }
+
+  const Config& config() const { return cfg_; }
+
+  /// Convenience: a jammer occupying the medium `duty` (0..1) of the time
+  /// with 13 ms bursts, the paper's parameterisation ("a 10% interference
+  /// corresponds to a 13 ms burst every 130 ms").
+  static Config jamlab(Vec2 pos, double duty, Channel ch = kControlChannel,
+                       std::uint64_t tag = 1);
+
+ private:
+  Config cfg_;
+};
+
+/// WiFi-like interferer: in every frame of `frame_us` it emits one burst of
+/// hash-randomised length (mean `duty * frame_us`) at a hash-randomised
+/// offset, covering all 802.15.4 channels under its WiFi channel.
+class WifiInterferer : public InterferenceSource {
+ public:
+  struct Config {
+    Vec2 position{};
+    double tx_power_dbm = 12.0;   ///< APs are louder than motes
+    int wifi_channel = 13;        ///< covers 802.15.4 channels 24..26
+    double duty = 0.4;            ///< mean occupied fraction
+    sim::TimeUs frame_us = sim::ms(40);
+    sim::TimeUs start_us = 0;
+    sim::TimeUs stop_us = -1;
+    std::uint64_t seed = 7;
+    std::uint64_t tag = 100;
+  };
+
+  explicit WifiInterferer(Config cfg);
+
+  double activity(sim::TimeUs t0, sim::TimeUs t1, Channel ch) const override;
+  Vec2 position() const override { return cfg_.position; }
+  double tx_power_dbm() const override { return cfg_.tx_power_dbm; }
+  std::uint64_t shadow_tag() const override { return cfg_.tag; }
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  bool covers(Channel ch) const;
+  double frame_overlap(sim::TimeUs t0, sim::TimeUs t1,
+                       std::int64_t frame_idx) const;
+
+  Config cfg_;
+  std::vector<Channel> covered_;
+};
+
+/// Ambient office background: independent low-duty bursts on every channel,
+/// modulated by a work-hours profile (quiet at night).
+class AmbientInterferer : public InterferenceSource {
+ public:
+  struct Config {
+    Vec2 position{};
+    double tx_power_dbm = -4.0;
+    double day_duty = 0.06;    ///< mean duty during work hours
+    double night_duty = 0.003; ///< "experiments run at night" are clean
+    sim::TimeUs frame_us = sim::ms(60);
+    /// Burst length as a fraction of the frame. Ambient traffic (Bluetooth
+    /// polls, WiFi beacons/ACKs) is short: a few ms. Short bursts are what
+    /// extra retransmissions can actually escape within a slot.
+    double burst_fraction = 1.0 / 12.0;
+    double day_start_h = 8.0;  ///< work-hours window within a 24 h day
+    double day_end_h = 19.0;
+    std::uint64_t seed = 11;
+    std::uint64_t tag = 200;
+  };
+
+  explicit AmbientInterferer(Config cfg);
+
+  double activity(sim::TimeUs t0, sim::TimeUs t1, Channel ch) const override;
+  Vec2 position() const override { return cfg_.position; }
+  double tx_power_dbm() const override { return cfg_.tx_power_dbm; }
+  std::uint64_t shadow_tag() const override { return cfg_.tag; }
+
+ private:
+  double duty_at(sim::TimeUs t) const;
+
+  Config cfg_;
+};
+
+/// What a receiver experiences during one packet reception window.
+struct InterferenceSample {
+  double power_mw = 0.0;  ///< summed received interference power when jammed
+  double exposure = 0.0;  ///< fraction of the window exposed to interference
+};
+
+/// An owning collection of interference sources, sampled per reception.
+class InterferenceField {
+ public:
+  InterferenceField() = default;
+
+  void add(std::unique_ptr<InterferenceSource> src);
+  std::size_t size() const { return sources_.size(); }
+  bool empty() const { return sources_.empty(); }
+  void clear() { sources_.clear(); }
+
+  /// Received interference at node `rx` for a packet spanning [t0,t1) on `ch`.
+  InterferenceSample sample(sim::TimeUs t0, sim::TimeUs t1, Channel ch,
+                            NodeId rx, const Topology& topo) const;
+
+ private:
+  std::vector<std::unique_ptr<InterferenceSource>> sources_;
+};
+
+/// D-Cube style controlled WiFi interference profiles (§V-E): level 1 is
+/// moderate AP traffic; level 2 adds APs and raises the duty cycle.
+void add_dcube_wifi_level(InterferenceField& field, const Topology& topo,
+                          int level, std::uint64_t seed = 0xD0CBEULL);
+
+}  // namespace dimmer::phy

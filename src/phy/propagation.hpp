@@ -1,0 +1,52 @@
+// Radio propagation: log-distance path loss with static per-link lognormal
+// shadowing, plus dBm/mW conversions and CC2420-style radio constants.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "phy/geometry.hpp"
+
+namespace dimmer::phy {
+
+/// dBm <-> milliwatt conversions.
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+inline double mw_to_dbm(double mw) {
+  return mw > 0.0 ? 10.0 * std::log10(mw) : -300.0;
+}
+
+/// CC2420-class radio constants (the paper's TelosB platform).
+struct RadioConstants {
+  double bitrate_bps = 250000.0;     ///< 802.15.4 2.4 GHz O-QPSK
+  int phy_overhead_bytes = 6;        ///< 4 B preamble + 1 B SFD + 1 B length
+  double default_tx_power_dbm = 0.0; ///< the paper transmits at 0 dBm
+  double noise_floor_dbm = -98.0;    ///< thermal noise + NF over 2 MHz
+  double sensitivity_dbm = -94.0;    ///< CC2420 datasheet sensitivity
+
+  /// Airtime of a frame with `payload_bytes` of MAC payload+header bytes.
+  double airtime_us(int payload_bytes) const {
+    return (payload_bytes + phy_overhead_bytes) * 8.0 * 1e6 / bitrate_bps;
+  }
+};
+
+/// Log-distance path loss: PL(d) = PL(d0) + 10*n*log10(d/d0).
+/// Defaults approximate an indoor office at 2.4 GHz.
+struct PathLossModel {
+  double pl_d0_db = 40.0;   ///< path loss at reference distance (1 m)
+  double exponent = 3.0;    ///< indoor office with obstructions
+  double d0_m = 1.0;        ///< reference distance
+  double shadowing_sigma_db = 4.0;  ///< lognormal shadowing std-dev (static)
+  /// Per-reception block-fading std-dev (temporal variation): multipath in
+  /// office environments makes even "good" links drop occasional packets,
+  /// which is why a single transmission (N_TX = 1) is never fully reliable.
+  double fading_sigma_db = 2.0;
+  double min_distance_m = 0.1;      ///< clamp to avoid log(0)
+
+  /// Deterministic (pre-shadowing) path loss in dB at distance d (meters).
+  double path_loss_db(double d_m) const {
+    double d = d_m < min_distance_m ? min_distance_m : d_m;
+    return pl_d0_db + 10.0 * exponent * std::log10(d / d0_m);
+  }
+};
+
+}  // namespace dimmer::phy

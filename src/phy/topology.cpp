@@ -1,0 +1,213 @@
+#include "phy/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "phy/per.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dimmer::phy {
+
+namespace {
+/// Deterministic standard-normal draw from a hash (Box-Muller on two hashes).
+double hashed_normal(std::uint64_t h) {
+  double u1 = util::pure_uniform(util::splitmix64(h));
+  double u2 = util::pure_uniform(util::splitmix64(h ^ 0xabcdef1234567890ULL));
+  if (u1 < 1e-12) u1 = 1e-12;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+}  // namespace
+
+Topology::Topology(std::vector<Vec2> positions, PathLossModel model,
+                   RadioConstants radio, std::uint64_t shadow_seed)
+    : positions_(std::move(positions)),
+      model_(model),
+      radio_(radio),
+      shadow_seed_(shadow_seed) {
+  DIMMER_REQUIRE(positions_.size() >= 2, "topology needs at least two nodes");
+  int n = size();
+  gain_.assign(static_cast<std::size_t>(n) * n, 0.0);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      double d = distance(positions_[a], positions_[b]);
+      double shadow =
+          model_.shadowing_sigma_db *
+          hashed_normal(util::hash_u64(shadow_seed_, static_cast<std::uint64_t>(a),
+                                       static_cast<std::uint64_t>(b)));
+      double g = -model_.path_loss_db(d) + shadow;
+      gain_at(a, b) = g;
+      gain_at(b, a) = g;  // symmetric links
+    }
+    gain_at(a, a) = 0.0;
+  }
+}
+
+Vec2 Topology::position(NodeId n) const {
+  DIMMER_REQUIRE(n >= 0 && n < size(), "node id out of range");
+  return positions_[static_cast<std::size_t>(n)];
+}
+
+double Topology::gain_db(NodeId tx, NodeId rx) const {
+  DIMMER_REQUIRE(tx >= 0 && tx < size() && rx >= 0 && rx < size(),
+                 "node id out of range");
+  return gain_[static_cast<std::size_t>(tx) * size() + rx];
+}
+
+double Topology::rx_power_dbm(NodeId tx, NodeId rx,
+                              double tx_power_dbm) const {
+  return tx_power_dbm + gain_db(tx, rx);
+}
+
+double Topology::gain_from_point_db(Vec2 p, NodeId rx,
+                                    std::uint64_t shadow_tag) const {
+  DIMMER_REQUIRE(rx >= 0 && rx < size(), "node id out of range");
+  double d = distance(p, positions_[static_cast<std::size_t>(rx)]);
+  double shadow =
+      model_.shadowing_sigma_db *
+      hashed_normal(util::hash_u64(shadow_seed_ ^ 0x9d2c5680ULL, shadow_tag,
+                                   static_cast<std::uint64_t>(rx)));
+  return -model_.path_loss_db(d) + shadow;
+}
+
+double Topology::sinr_threshold_db(int frame_bytes, double target_per) {
+  DIMMER_REQUIRE(target_per > 0.0 && target_per < 1.0,
+                 "target_per out of (0,1)");
+  double lo = -10.0, hi = 20.0;
+  for (int i = 0; i < 60; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (per_802154(mid, frame_bytes) > target_per)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return hi;
+}
+
+std::vector<int> Topology::hop_counts(NodeId root, int frame_bytes,
+                                      double tx_power_dbm) const {
+  DIMMER_REQUIRE(root >= 0 && root < size(), "node id out of range");
+  double need_dbm =
+      radio_.noise_floor_dbm + sinr_threshold_db(frame_bytes, 0.1);
+  std::vector<int> hops(static_cast<std::size_t>(size()), -1);
+  std::queue<NodeId> q;
+  hops[static_cast<std::size_t>(root)] = 0;
+  q.push(root);
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    for (NodeId v = 0; v < size(); ++v) {
+      if (v == u || hops[static_cast<std::size_t>(v)] >= 0) continue;
+      if (rx_power_dbm(u, v, tx_power_dbm) >= need_dbm) {
+        hops[static_cast<std::size_t>(v)] = hops[static_cast<std::size_t>(u)] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return hops;
+}
+
+// ---- Factories -----------------------------------------------------------
+
+namespace {
+/// Office-grade propagation: walls push the exponent up; links are solid to
+/// ~15 m and marginal around ~25 m at 0 dBm, giving multi-hop office scales.
+PathLossModel office_path_loss() {
+  PathLossModel m;
+  m.pl_d0_db = 46.0;
+  m.exponent = 3.8;  // walls between offices and lab rooms
+  m.shadowing_sigma_db = 4.0;
+  return m;
+}
+}  // namespace
+
+Topology make_line_topology(int n, double spacing_m,
+                            std::uint64_t shadow_seed) {
+  DIMMER_REQUIRE(n >= 2, "line topology needs >= 2 nodes");
+  std::vector<Vec2> pos;
+  pos.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pos.push_back({spacing_m * i, 0.0});
+  return Topology(std::move(pos), office_path_loss(), RadioConstants{},
+                  shadow_seed);
+}
+
+Topology make_grid_topology(int rows, int cols, double spacing_m,
+                            std::uint64_t shadow_seed) {
+  DIMMER_REQUIRE(rows >= 1 && cols >= 1 && rows * cols >= 2,
+                 "grid topology needs >= 2 nodes");
+  std::vector<Vec2> pos;
+  pos.reserve(static_cast<std::size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      pos.push_back({spacing_m * c, spacing_m * r});
+  return Topology(std::move(pos), office_path_loss(), RadioConstants{},
+                  shadow_seed);
+}
+
+Topology make_random_topology(int n, double width_m, double height_m,
+                              std::uint64_t seed) {
+  DIMMER_REQUIRE(n >= 2, "random topology needs >= 2 nodes");
+  util::Pcg32 rng(seed);
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    std::vector<Vec2> pos;
+    pos.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      pos.push_back({rng.uniform(0.0, width_m), rng.uniform(0.0, height_m)});
+    Topology t(std::move(pos), office_path_loss(), RadioConstants{},
+               util::hash_u64(seed, static_cast<std::uint64_t>(attempt)));
+    auto hops = t.hop_counts(0);
+    if (std::all_of(hops.begin(), hops.end(), [](int h) { return h >= 0; }))
+      return t;
+  }
+  throw util::RequireError(
+      "could not generate a connected random topology; "
+      "box too large for the node count");
+}
+
+Topology make_office18_topology(std::uint64_t shadow_seed) {
+  // 18 nodes along a 55 m office corridor with lab rooms on both sides;
+  // node 0 (coordinator) sits in the first office, matching the paper's
+  // 3-hop diameter at 0 dBm.
+  std::vector<Vec2> pos = {
+      {2.0, 3.0},   // 0: coordinator, first office
+      {6.5, 9.0},   // 1
+      {9.5, 2.5},   // 2
+      {13.5, 9.5},  // 3
+      {16.5, 3.5},  // 4
+      {20.0, 9.0},  // 5
+      {23.5, 2.5},  // 6
+      {27.0, 9.5},  // 7
+      {30.0, 4.0},  // 8
+      {33.5, 10.5}, // 9
+      {36.5, 2.5},  // 10
+      {40.0, 9.0},  // 11
+      {43.0, 3.5},  // 12
+      {46.0, 10.0}, // 13
+      {48.5, 4.5},  // 14
+      {51.5, 10.5}, // 15
+      {54.0, 2.5},  // 16
+      {55.0, 9.5},  // 17
+  };
+  return Topology(std::move(pos), office_path_loss(), RadioConstants{},
+                  shadow_seed);
+}
+
+Topology make_dcube48_topology(std::uint64_t shadow_seed) {
+  // 48 devices over an 85 m x 30 m multi-room floor, deterministic placement
+  // (jittered grid) so the topology is stable across runs; ~4-5 hops.
+  std::vector<Vec2> pos;
+  pos.reserve(48);
+  util::Pcg32 rng(util::hash_u64(0xDC0BEULL, shadow_seed));
+  for (int r = 0; r < 6; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      double x = 4.0 + c * 11.0 + rng.uniform(-3.0, 3.0);
+      double y = 3.0 + r * 5.0 + rng.uniform(-1.8, 1.8);
+      pos.push_back({x, y});
+    }
+  }
+  return Topology(std::move(pos), office_path_loss(), RadioConstants{},
+                  shadow_seed);
+}
+
+}  // namespace dimmer::phy

@@ -1,0 +1,82 @@
+// Node placement and the static link-gain matrix.
+//
+// A Topology owns node positions plus a deterministic per-link shadowing draw,
+// and answers "what power does node j see when node i transmits?" for both
+// in-network nodes and external points (jammers, WiFi APs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/geometry.hpp"
+#include "phy/propagation.hpp"
+
+namespace dimmer::phy {
+
+using NodeId = int;
+
+class Topology {
+ public:
+  /// Builds the gain matrix. `shadow_seed` fixes the lognormal shadowing
+  /// draws; identical seeds give identical radio environments.
+  Topology(std::vector<Vec2> positions, PathLossModel model,
+           RadioConstants radio, std::uint64_t shadow_seed);
+
+  int size() const { return static_cast<int>(positions_.size()); }
+  Vec2 position(NodeId n) const;
+  const PathLossModel& path_loss() const { return model_; }
+  const RadioConstants& radio() const { return radio_; }
+  std::uint64_t shadow_seed() const { return shadow_seed_; }
+
+  /// Link gain in dB between two nodes (path loss + static shadowing, < 0).
+  double gain_db(NodeId tx, NodeId rx) const;
+
+  /// Received power in dBm at `rx` for a transmission from `tx`.
+  double rx_power_dbm(NodeId tx, NodeId rx, double tx_power_dbm) const;
+
+  /// Gain from an arbitrary point (e.g. a jammer) to a node. `shadow_tag`
+  /// identifies the external transmitter so its shadowing is stable.
+  double gain_from_point_db(Vec2 p, NodeId rx, std::uint64_t shadow_tag) const;
+
+  /// BFS hop counts from `root` over "good" links (clean-SNR PER below 10%
+  /// for `frame_bytes`). Unreachable nodes get -1.
+  std::vector<int> hop_counts(NodeId root, int frame_bytes = 36,
+                              double tx_power_dbm = 0.0) const;
+
+  /// Smallest SINR (dB) with per_802154(sinr, frame_bytes) <= target_per.
+  static double sinr_threshold_db(int frame_bytes, double target_per);
+
+ private:
+  std::vector<Vec2> positions_;
+  PathLossModel model_;
+  RadioConstants radio_;
+  std::uint64_t shadow_seed_;
+  std::vector<double> gain_;  // row-major size*size, symmetric
+
+  double& gain_at(NodeId a, NodeId b) { return gain_[a * size() + b]; }
+};
+
+// ---- Topology factories ------------------------------------------------
+
+/// n nodes on a line, `spacing_m` apart (multi-hop chains for tests).
+Topology make_line_topology(int n, double spacing_m,
+                            std::uint64_t shadow_seed = 1);
+
+/// rows x cols grid with `spacing_m` pitch.
+Topology make_grid_topology(int rows, int cols, double spacing_m,
+                            std::uint64_t shadow_seed = 1);
+
+/// n nodes placed uniformly at random in a width x height box; retries the
+/// placement until the topology is connected from node 0.
+Topology make_random_topology(int n, double width_m, double height_m,
+                              std::uint64_t seed);
+
+/// The paper's 18-node, 3-hop office deployment (Fig. 4a): offices and lab
+/// rooms along a corridor; node 0 is the coordinator at one end.
+Topology make_office18_topology(std::uint64_t shadow_seed = 18);
+
+/// A 48-node D-Cube-like deployment spanning several rooms/floors;
+/// node 0 is the coordinator (paper: device ID 202).
+Topology make_dcube48_topology(std::uint64_t shadow_seed = 48);
+
+}  // namespace dimmer::phy

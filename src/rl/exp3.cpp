@@ -1,0 +1,82 @@
+#include "rl/exp3.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dimmer::rl {
+
+namespace {
+constexpr double kInitialWeight = 1.0;
+// Renormalise when weights drift beyond these bounds to avoid overflow in
+// long runs; Exp3's probabilities are scale-invariant.
+constexpr double kMaxWeight = 1e100;
+constexpr double kMinTotal = 1e-100;
+}  // namespace
+
+Exp3::Exp3(std::size_t arms, double gamma) : gamma_(gamma) {
+  DIMMER_REQUIRE(arms >= 2, "Exp3 needs at least two arms");
+  DIMMER_REQUIRE(gamma > 0.0 && gamma <= 1.0, "gamma out of (0,1]");
+  weights_.assign(arms, kInitialWeight);
+}
+
+std::vector<double> Exp3::probabilities() const {
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  std::vector<double> p(weights_.size());
+  double k = static_cast<double>(weights_.size());
+  for (std::size_t i = 0; i < p.size(); ++i)
+    p[i] = (1.0 - gamma_) * weights_[i] / total + gamma_ / k;
+  return p;
+}
+
+double Exp3::probability(std::size_t arm) const {
+  DIMMER_REQUIRE(arm < weights_.size(), "arm out of range");
+  return probabilities()[arm];
+}
+
+std::size_t Exp3::sample(util::Pcg32& rng) const {
+  std::vector<double> p = probabilities();
+  double u = rng.uniform();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    acc += p[i];
+    if (u < acc) return i;
+  }
+  return p.size() - 1;  // floating-point slack
+}
+
+std::size_t Exp3::best_arm() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < weights_.size(); ++i)
+    if (weights_[i] > weights_[best]) best = i;
+  return best;
+}
+
+void Exp3::update(std::size_t arm, double reward) {
+  DIMMER_REQUIRE(arm < weights_.size(), "arm out of range");
+  DIMMER_REQUIRE(reward >= 0.0 && reward <= 1.0, "reward out of [0,1]");
+  double p = probability(arm);
+  double r_hat = reward / p;  // importance-weighted reward
+  double k = static_cast<double>(weights_.size());
+  weights_[arm] *= std::exp(gamma_ * r_hat / k);
+  normalise_if_needed();
+}
+
+void Exp3::reset_arm(std::size_t arm) {
+  DIMMER_REQUIRE(arm < weights_.size(), "arm out of range");
+  weights_[arm] = kInitialWeight;
+}
+
+void Exp3::normalise_if_needed() {
+  double total = 0.0, maxw = 0.0;
+  for (double w : weights_) {
+    total += w;
+    maxw = std::max(maxw, w);
+  }
+  if (maxw > kMaxWeight || total < kMinTotal) {
+    for (double& w : weights_) w /= maxw;
+  }
+}
+
+}  // namespace dimmer::rl

@@ -1,0 +1,55 @@
+// Exp3 — the adversarial multi-armed-bandit algorithm (Auer et al. 2002)
+// behind Dimmer's distributed forwarder selection (paper §IV-C, Eq. 2):
+//
+//   p_i(t) = (1 - gamma) * w_i(t) / sum_j w_j(t) + gamma / K
+//   w_i(t+1) = w_i(t) * exp(gamma * r_hat / K),  r_hat = r / p_i(t)
+//
+// plus Dimmer's stability extension: reset_arm() reinitialises an arm's
+// weight after a network-breaking configuration (§IV-C "Improving
+// stability" (b)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dimmer::rl {
+
+class Exp3 {
+ public:
+  /// `arms` >= 2, `gamma` in (0,1] is the exploration factor.
+  Exp3(std::size_t arms, double gamma);
+
+  std::size_t arms() const { return weights_.size(); }
+  double gamma() const { return gamma_; }
+
+  /// Current action distribution (Eq. 2); sums to 1.
+  std::vector<double> probabilities() const;
+
+  /// Probability of a single arm.
+  double probability(std::size_t arm) const;
+
+  /// Sample an arm from the current distribution.
+  std::size_t sample(util::Pcg32& rng) const;
+
+  /// Most probable arm (deployment-time role outside a learning turn).
+  std::size_t best_arm() const;
+
+  /// Exp3 update after playing `arm` and receiving reward in [0,1].
+  void update(std::size_t arm, double reward);
+
+  /// Dimmer's punishment: reinitialise an arm to the initial weight,
+  /// "greatly reducing the risk of re-entering this bad configuration".
+  void reset_arm(std::size_t arm);
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  void normalise_if_needed();
+
+  double gamma_;
+  std::vector<double> weights_;
+};
+
+}  // namespace dimmer::rl

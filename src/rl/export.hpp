@@ -1,0 +1,24 @@
+// Deployment export: emit a quantized network as a self-contained C header.
+//
+// The paper's DQN runs inside Contiki-NG firmware on an FPU-less MSP430;
+// this generator produces exactly the artifact such firmware would compile
+// in — int16 weight arrays at the fixed-point scale, layer dimensions, and
+// an inference routine written in portable C89 using only 32-bit integer
+// arithmetic.
+#pragma once
+
+#include <string>
+
+#include "rl/quantized.hpp"
+
+namespace dimmer::rl {
+
+/// Renders `net` as a C header. `symbol_prefix` must be a valid C
+/// identifier prefix (e.g. "dimmer_dqn"). The header defines:
+///   static const int16_t <prefix>_lN_w[], <prefix>_lN_b[];
+///   enum dimensions;  and  static int <prefix>_infer(const int16_t *x)
+/// returning the argmax action.
+std::string export_quantized_c_header(const QuantizedMlp& net,
+                                      const std::string& symbol_prefix);
+
+}  // namespace dimmer::rl

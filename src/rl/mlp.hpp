@@ -1,0 +1,104 @@
+// A minimal fully-connected network with ReLU hidden activations.
+//
+// This is deliberately a from-scratch implementation: the paper's DQN is a
+// single 30-neuron hidden layer ("we implement our own neuronal
+// compute-system rather than use an existing framework"), so a dependency-
+// free forward/backward pass keeps the training loop transparent and portable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dimmer::rl {
+
+/// One dense layer: y = act(W x + b). Weights are row-major [out][in].
+struct DenseLayer {
+  int in = 0;
+  int out = 0;
+  bool relu = false;  ///< ReLU if true, identity otherwise (output layer)
+  std::vector<double> w;  // out*in
+  std::vector<double> b;  // out
+};
+
+/// Gradients and Adam moments share the layer's parameter layout.
+struct LayerGrads {
+  std::vector<double> dw;
+  std::vector<double> db;
+};
+
+/// Cached activations from a forward pass, needed for backprop.
+struct ForwardCache {
+  std::vector<std::vector<double>> inputs;      ///< input to each layer
+  std::vector<std::vector<double>> pre_act;     ///< W x + b per layer
+  std::vector<double> output;
+};
+
+class Mlp {
+ public:
+  /// `sizes` = {in, hidden..., out}; hidden layers get ReLU, the output layer
+  /// is linear (Q-values). He-initialised from `seed`.
+  Mlp(const std::vector<int>& sizes, std::uint64_t seed);
+
+  int input_size() const;
+  int output_size() const;
+  std::size_t parameter_count() const;
+  const std::vector<DenseLayer>& layers() const { return layers_; }
+  std::vector<DenseLayer>& mutable_layers() { return layers_; }
+
+  /// Plain inference.
+  std::vector<double> forward(const std::vector<double>& x) const;
+
+  /// Inference keeping activations for a later backward() call.
+  std::vector<double> forward_cached(const std::vector<double>& x,
+                                     ForwardCache& cache) const;
+
+  /// Backprop dLoss/dOutput through the cache, accumulating into `grads`
+  /// (which must match shapes(); call zero_grads() first for a fresh batch).
+  void backward(const ForwardCache& cache, const std::vector<double>& dout,
+                std::vector<LayerGrads>& grads) const;
+
+  /// Gradient buffers matching this network's shape, zero-initialised.
+  std::vector<LayerGrads> make_grads() const;
+  static void zero_grads(std::vector<LayerGrads>& grads);
+
+  /// Copy all parameters from another identically-shaped network.
+  void copy_parameters_from(const Mlp& other);
+
+  /// Text (de)serialisation of the architecture + weights.
+  void save(std::ostream& os) const;
+  static Mlp load(std::istream& is);
+
+ private:
+  explicit Mlp() = default;
+  std::vector<DenseLayer> layers_;
+};
+
+/// Adam optimiser over an Mlp's parameters.
+class Adam {
+ public:
+  struct Config {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+  };
+
+  Adam(const Mlp& net, Config cfg);
+
+  /// Applies one update from accumulated gradients (scaled by 1/batch).
+  void step(Mlp& net, const std::vector<LayerGrads>& grads, double batch_scale);
+
+  void set_learning_rate(double lr) { cfg_.lr = lr; }
+  double learning_rate() const { return cfg_.lr; }
+
+ private:
+  Config cfg_;
+  std::vector<LayerGrads> m_;
+  std::vector<LayerGrads> v_;
+  long t_ = 0;
+};
+
+}  // namespace dimmer::rl

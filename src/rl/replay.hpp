@@ -1,0 +1,65 @@
+// Experience replay buffer for the DQN (uniform sampling, ring eviction).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dimmer::rl {
+
+/// One (s, a, R, s', done) tuple. For n-step returns, `reward` holds the
+/// discounted n-step sum and `discount` the matching bootstrap factor
+/// (gamma^n); discount < 0 means "single step, use the agent's gamma".
+struct Transition {
+  std::vector<double> state;
+  int action = 0;
+  double reward = 0.0;
+  std::vector<double> next_state;
+  bool done = false;
+  double discount = -1.0;
+};
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity) : cap_(capacity) {
+    DIMMER_REQUIRE(capacity > 0, "replay capacity must be positive");
+    buf_.reserve(capacity);
+  }
+
+  void push(Transition t) {
+    if (buf_.size() < cap_) {
+      buf_.push_back(std::move(t));
+    } else {
+      buf_[head_] = std::move(t);
+      head_ = (head_ + 1) % cap_;
+    }
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  std::size_t capacity() const { return cap_; }
+  bool empty() const { return buf_.empty(); }
+
+  const Transition& at(std::size_t i) const {
+    DIMMER_REQUIRE(i < buf_.size(), "replay index out of range");
+    return buf_[i];
+  }
+
+  /// Uniform sample with replacement of `n` transition indices.
+  std::vector<std::size_t> sample_indices(std::size_t n,
+                                          util::Pcg32& rng) const {
+    DIMMER_REQUIRE(!buf_.empty(), "cannot sample from an empty buffer");
+    std::vector<std::size_t> out(n);
+    for (auto& i : out)
+      i = rng.uniform_below(static_cast<std::uint32_t>(buf_.size()));
+    return out;
+  }
+
+ private:
+  std::size_t cap_;
+  std::vector<Transition> buf_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace dimmer::rl

@@ -1,0 +1,65 @@
+#include "rl/tabular.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dimmer::rl {
+
+TabularQ::TabularQ(std::size_t n_states, std::size_t n_actions, double alpha,
+                   double gamma)
+    : n_states_(n_states),
+      n_actions_(n_actions),
+      alpha_(alpha),
+      gamma_(gamma) {
+  DIMMER_REQUIRE(n_states >= 1 && n_actions >= 2, "table too small");
+  DIMMER_REQUIRE(alpha > 0.0 && alpha <= 1.0, "alpha out of (0,1]");
+  DIMMER_REQUIRE(gamma >= 0.0 && gamma < 1.0, "gamma out of [0,1)");
+  table_.assign(n_states * n_actions, 0.0);
+  visited_.assign(n_states, false);
+}
+
+std::size_t TabularQ::index(std::size_t s, std::size_t a) const {
+  DIMMER_REQUIRE(s < n_states_ && a < n_actions_, "index out of range");
+  return s * n_actions_ + a;
+}
+
+double TabularQ::q(std::size_t state, std::size_t action) const {
+  return table_[index(state, action)];
+}
+
+std::size_t TabularQ::greedy(std::size_t state) const {
+  DIMMER_REQUIRE(state < n_states_, "state out of range");
+  auto begin = table_.begin() + static_cast<std::ptrdiff_t>(state * n_actions_);
+  return static_cast<std::size_t>(
+      std::max_element(begin, begin + static_cast<std::ptrdiff_t>(n_actions_)) -
+      begin);
+}
+
+std::size_t TabularQ::select(std::size_t state, double epsilon,
+                             util::Pcg32& rng) {
+  if (rng.uniform() < epsilon)
+    return rng.uniform_below(static_cast<std::uint32_t>(n_actions_));
+  return greedy(state);
+}
+
+void TabularQ::update(std::size_t s, std::size_t a, double reward,
+                      std::size_t s2, bool done) {
+  DIMMER_REQUIRE(s2 < n_states_, "next state out of range");
+  double target = reward;
+  if (!done) {
+    auto begin = table_.begin() + static_cast<std::ptrdiff_t>(s2 * n_actions_);
+    target += gamma_ * *std::max_element(
+                           begin, begin + static_cast<std::ptrdiff_t>(n_actions_));
+  }
+  double& cell = table_[index(s, a)];
+  cell += alpha_ * (target - cell);
+  visited_[s] = true;
+}
+
+std::size_t TabularQ::unvisited_states() const {
+  return static_cast<std::size_t>(
+      std::count(visited_.begin(), visited_.end(), false));
+}
+
+}  // namespace dimmer::rl

@@ -1,0 +1,46 @@
+// Tabular Q-learning — the classical alternative the paper argues against
+// for the central adaptivity problem (§III-B: "our input space is ... high-
+// dimensional[;] this makes tabular Q-learning unfit"). We implement it
+// anyway, over a coarse discretization, so the claim can be measured
+// (bench_ablation_tabular).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dimmer::rl {
+
+class TabularQ {
+ public:
+  TabularQ(std::size_t n_states, std::size_t n_actions, double alpha,
+           double gamma);
+
+  std::size_t n_states() const { return n_states_; }
+  std::size_t n_actions() const { return n_actions_; }
+
+  double q(std::size_t state, std::size_t action) const;
+  std::size_t greedy(std::size_t state) const;
+  std::size_t select(std::size_t state, double epsilon, util::Pcg32& rng);
+
+  /// One-step Q-learning update.
+  void update(std::size_t s, std::size_t a, double reward, std::size_t s2,
+              bool done);
+
+  /// States whose every action value is still exactly 0 (never visited) —
+  /// a direct view of the coverage problem tabular methods face.
+  std::size_t unvisited_states() const;
+
+ private:
+  std::size_t index(std::size_t s, std::size_t a) const;
+
+  std::size_t n_states_;
+  std::size_t n_actions_;
+  double alpha_;
+  double gamma_;
+  std::vector<double> table_;
+  std::vector<bool> visited_;
+};
+
+}  // namespace dimmer::rl

@@ -1,0 +1,90 @@
+// A deterministic discrete-event scheduler.
+//
+// Events with equal timestamps fire in insertion order (a strict tiebreak —
+// crucial for reproducibility). The round-driven protocols in this repo
+// mostly advance in fixed periods, but the queue also backs the aperiodic
+// traffic generators (D-Cube data collection) and scenario scripts
+// (jammer on/off at minute marks).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/check.hpp"
+
+namespace dimmer::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  /// Schedule `cb` at absolute time `at` (must not be in the past).
+  EventId schedule_at(TimeUs at, Callback cb) {
+    DIMMER_REQUIRE(at >= now_, "cannot schedule an event in the past");
+    EventId id = next_id_++;
+    heap_.push(Event{at, id, std::move(cb)});
+    pending_.insert(id);
+    return id;
+  }
+
+  /// Schedule `cb` after a relative delay from now.
+  EventId schedule_in(TimeUs delay, Callback cb) {
+    DIMMER_REQUIRE(delay >= 0, "negative delay");
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancel a pending event; returns false if it already fired or is unknown.
+  bool cancel(EventId id) { return pending_.erase(id) > 0; }
+
+  TimeUs now() const { return now_; }
+  bool empty() const { return pending_.empty(); }
+  std::size_t size() const { return pending_.size(); }
+
+  /// Run the next live event; returns false if the queue is empty.
+  bool step() {
+    while (!heap_.empty()) {
+      Event ev = std::move(const_cast<Event&>(heap_.top()));
+      heap_.pop();
+      if (pending_.erase(ev.id) == 0) continue;  // was cancelled
+      now_ = ev.at;
+      ev.cb();
+      return true;
+    }
+    return false;
+  }
+
+  /// Run all events with timestamp <= `until` (inclusive); time ends at
+  /// max(now, until).
+  void run_until(TimeUs until) {
+    while (!heap_.empty() && heap_.top().at <= until) step();
+    now_ = std::max(now_, until);
+  }
+
+  /// Drain the whole queue.
+  void run_all() {
+    while (step()) {
+    }
+  }
+
+ private:
+  struct Event {
+    TimeUs at;
+    EventId id;
+    Callback cb;
+    bool operator>(const Event& o) const {
+      return at != o.at ? at > o.at : id > o.id;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::set<EventId> pending_;
+  TimeUs now_ = 0;
+  EventId next_id_ = 0;
+};
+
+}  // namespace dimmer::sim

@@ -1,0 +1,24 @@
+// Simulation time. All protocol timing is expressed in integer microseconds,
+// which is the native granularity of the timers on the TelosB-class hardware
+// the paper targets and avoids floating-point drift in long runs.
+#pragma once
+
+#include <cstdint>
+
+namespace dimmer::sim {
+
+/// Microseconds since simulation start.
+using TimeUs = std::int64_t;
+
+constexpr TimeUs us(std::int64_t v) { return v; }
+constexpr TimeUs ms(std::int64_t v) { return v * 1000; }
+constexpr TimeUs seconds(std::int64_t v) { return v * 1000000; }
+constexpr TimeUs minutes(std::int64_t v) { return v * 60 * 1000000; }
+constexpr TimeUs hours(std::int64_t v) { return v * 3600 * 1000000; }
+
+constexpr double to_ms(TimeUs t) { return static_cast<double>(t) / 1000.0; }
+constexpr double to_seconds(TimeUs t) {
+  return static_cast<double>(t) / 1000000.0;
+}
+
+}  // namespace dimmer::sim

@@ -1,0 +1,59 @@
+// Assertion and precondition macros used across the Dimmer codebase.
+//
+// DIMMER_CHECK is an always-on invariant check (never compiled out): simulator
+// correctness matters more than the nanoseconds a branch costs. DIMMER_REQUIRE
+// is for validating caller-supplied arguments at public API boundaries.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dimmer::util {
+
+/// Thrown when an internal invariant is violated (a bug in this library).
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a caller violates a documented precondition.
+class RequireError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (kind[0] == 'D') throw CheckError(os.str());
+  throw RequireError(os.str());
+}
+}  // namespace detail
+
+}  // namespace dimmer::util
+
+#define DIMMER_CHECK(expr)                                                   \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::dimmer::util::detail::check_failed("DIMMER_CHECK", #expr, __FILE__,  \
+                                           __LINE__, "");                    \
+  } while (false)
+
+#define DIMMER_CHECK_MSG(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::dimmer::util::detail::check_failed("DIMMER_CHECK", #expr, __FILE__,  \
+                                           __LINE__, (msg));                 \
+  } while (false)
+
+#define DIMMER_REQUIRE(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::dimmer::util::detail::check_failed("REQUIRE", #expr, __FILE__,       \
+                                           __LINE__, (msg));                 \
+  } while (false)

@@ -1,0 +1,32 @@
+// Minimal command-line flag parsing for examples and bench harnesses.
+// Supports `--key=value`, `--key value`, and boolean `--flag`.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dimmer::util {
+
+class Cli {
+ public:
+  /// Parses argv; throws RequireError on malformed arguments.
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long get_int(const std::string& key, long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dimmer::util

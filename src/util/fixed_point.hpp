@@ -1,0 +1,52 @@
+// Fixed-point arithmetic matching the paper's embedded DQN (§IV-B):
+// weights are stored as 16-bit integers with a decimal scale of 100 (two
+// fractional digits), and intermediate results use 32-bit accumulators.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace dimmer::util {
+
+/// The paper's fixed-point scale: "set to 100 (two floating digits)".
+constexpr std::int32_t kFixedPointScale = 100;
+
+/// Saturating conversion of a double to a scaled int16 weight.
+inline std::int16_t to_fixed16(double x,
+                               std::int32_t scale = kFixedPointScale) {
+  double scaled = x * static_cast<double>(scale);
+  double r = scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5;  // round half away
+  if (r > std::numeric_limits<std::int16_t>::max())
+    return std::numeric_limits<std::int16_t>::max();
+  if (r < std::numeric_limits<std::int16_t>::min())
+    return std::numeric_limits<std::int16_t>::min();
+  return static_cast<std::int16_t>(r);
+}
+
+/// Inverse of to_fixed16.
+inline double from_fixed16(std::int16_t x,
+                           std::int32_t scale = kFixedPointScale) {
+  return static_cast<double>(x) / static_cast<double>(scale);
+}
+
+/// Multiply two scale-S fixed numbers into a scale-S result with 32-bit
+/// intermediate (the embedded DQN's MAC step); rounds toward zero like the
+/// integer division a 16-bit MCU would perform.
+inline std::int32_t fixed_mul(std::int32_t a, std::int32_t b,
+                              std::int32_t scale = kFixedPointScale) {
+  std::int64_t p = static_cast<std::int64_t>(a) * static_cast<std::int64_t>(b);
+  return static_cast<std::int32_t>(p / scale);
+}
+
+/// Saturate a 32-bit accumulator back into int16 range (scale preserved).
+inline std::int16_t saturate16(std::int32_t x) {
+  if (x > std::numeric_limits<std::int16_t>::max())
+    return std::numeric_limits<std::int16_t>::max();
+  if (x < std::numeric_limits<std::int16_t>::min())
+    return std::numeric_limits<std::int16_t>::min();
+  return static_cast<std::int16_t>(x);
+}
+
+}  // namespace dimmer::util

@@ -1,0 +1,34 @@
+// Leveled logging. Off by default above WARN so simulations stay quiet;
+// harnesses can raise verbosity with set_log_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dimmer::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+}  // namespace dimmer::util
+
+#define DIMMER_LOG(level, expr)                                      \
+  do {                                                               \
+    if (static_cast<int>(level) >=                                   \
+        static_cast<int>(::dimmer::util::log_level())) {             \
+      std::ostringstream dimmer_log_os_;                             \
+      dimmer_log_os_ << expr;                                        \
+      ::dimmer::util::detail::log_line(level, dimmer_log_os_.str()); \
+    }                                                                \
+  } while (false)
+
+#define DIMMER_DEBUG(expr) DIMMER_LOG(::dimmer::util::LogLevel::kDebug, expr)
+#define DIMMER_INFO(expr) DIMMER_LOG(::dimmer::util::LogLevel::kInfo, expr)
+#define DIMMER_WARN(expr) DIMMER_LOG(::dimmer::util::LogLevel::kWarn, expr)
+#define DIMMER_ERROR(expr) DIMMER_LOG(::dimmer::util::LogLevel::kError, expr)

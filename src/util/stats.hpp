@@ -1,0 +1,131 @@
+// Streaming and batch statistics helpers used by the evaluation harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dimmer::util {
+
+/// Welford running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    double d = o.mean_ - mean_;
+    std::size_t n = n_ + o.n_;
+    m2_ += o.m2_ + d * d * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / static_cast<double>(n);
+    mean_ += d * static_cast<double>(o.n_) / static_cast<double>(n);
+    n_ = n;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exponentially weighted moving average; alpha is the weight of new samples.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {
+    DIMMER_REQUIRE(alpha > 0.0 && alpha <= 1.0, "Ewma alpha out of (0,1]");
+  }
+
+  void add(double x) {
+    value_ = seeded_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    seeded_ = true;
+  }
+
+  void reset() { seeded_ = false; value_ = 0.0; }
+  bool seeded() const { return seeded_; }
+  double value() const { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Sliding-window mean over the last `capacity` samples (ring buffer).
+class WindowMean {
+ public:
+  explicit WindowMean(std::size_t capacity) : cap_(capacity) {
+    DIMMER_REQUIRE(capacity > 0, "WindowMean capacity must be positive");
+    buf_.reserve(capacity);
+  }
+
+  void add(double x) {
+    if (buf_.size() < cap_) {
+      buf_.push_back(x);
+      sum_ += x;
+    } else {
+      sum_ += x - buf_[head_];
+      buf_[head_] = x;
+      head_ = (head_ + 1) % cap_;
+    }
+  }
+
+  std::size_t count() const { return buf_.size(); }
+  bool full() const { return buf_.size() == cap_; }
+  double mean() const {
+    return buf_.empty() ? 0.0 : sum_ / static_cast<double>(buf_.size());
+  }
+  void reset() {
+    buf_.clear();
+    head_ = 0;
+    sum_ = 0.0;
+  }
+
+ private:
+  std::size_t cap_;
+  std::vector<double> buf_;
+  std::size_t head_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Percentile (linear interpolation) of an unsorted sample; p in [0,100].
+inline double percentile(std::vector<double> v, double p) {
+  DIMMER_REQUIRE(!v.empty(), "percentile of empty sample");
+  DIMMER_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]");
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+  auto lo = static_cast<std::size_t>(idx);
+  std::size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+}  // namespace dimmer::util

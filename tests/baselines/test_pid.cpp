@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "baselines/pid.hpp"
+
+namespace dimmer::baselines {
+namespace {
+
+core::GlobalSnapshot snapshot_with_worst(double worst_rel, int n = 18) {
+  core::GlobalSnapshot snap(n);
+  snap.current_round = 2;
+  for (std::size_t i = 0; i < snap.entries.size(); ++i) {
+    auto& e = snap.entries[i];
+    e.reliability = i == 3 ? worst_rel : 1.0;
+    e.radio_on_ms = 8.0;
+    e.round = 2;
+    e.ever_heard = true;
+  }
+  return snap;
+}
+
+TEST(PidController, DriftsDownWhenFullyReliable) {
+  PidController pid;
+  auto snap = snapshot_with_worst(1.0);
+  int n = 3, min_seen = 3;
+  for (int r = 0; r < 200; ++r) {
+    n = pid.decide(snap, true, n);
+    min_seen = std::min(min_seen, n);
+    EXPECT_GE(n, 1);
+  }
+  EXPECT_LE(min_seen, 2);  // energy pressure pushes below the start point
+}
+
+TEST(PidController, JumpsOnLosses) {
+  PidController pid;
+  auto clean = snapshot_with_worst(1.0);
+  int n = 3;
+  for (int r = 0; r < 10; ++r) n = pid.decide(clean, true, n);
+  int calm_n = n;
+  auto lossy = snapshot_with_worst(0.6);
+  n = pid.decide(lossy, false, n);
+  EXPECT_GT(n, calm_n);
+}
+
+TEST(PidController, SaturatesUnderPersistentLosses) {
+  PidController pid;
+  auto lossy = snapshot_with_worst(0.5);
+  int n = 3;
+  for (int r = 0; r < 15; ++r) n = pid.decide(lossy, false, n);
+  EXPECT_EQ(n, 8);
+}
+
+TEST(PidController, RecoversSlowlyAfterInterference) {
+  PidController pid;
+  auto lossy = snapshot_with_worst(0.5);
+  int n = 3;
+  for (int r = 0; r < 20; ++r) n = pid.decide(lossy, false, n);
+  ASSERT_EQ(n, 8);
+  // After the interference stops, the integral drains slowly: the
+  // controller must NOT drop straight back in one or two rounds.
+  auto clean = snapshot_with_worst(1.0);
+  n = pid.decide(clean, true, n);
+  int after_one = n;
+  EXPECT_GE(after_one, 5);
+  int rounds_to_three = 0;
+  while (n > 3 && rounds_to_three < 500) {
+    n = pid.decide(clean, true, n);
+    ++rounds_to_three;
+  }
+  EXPECT_GT(rounds_to_three, 10);  // "converges slowly back" (SV-C)
+}
+
+TEST(PidController, OutputAlwaysInRange) {
+  PidController pid;
+  util::Pcg32 rng(1);
+  int n = 3;
+  for (int r = 0; r < 300; ++r) {
+    auto snap = snapshot_with_worst(rng.uniform());
+    n = pid.decide(snap, rng.bernoulli(0.5), n);
+    EXPECT_GE(n, 1);
+    EXPECT_LE(n, 8);
+  }
+}
+
+TEST(PidController, MissingFeedbackIsPessimistic) {
+  PidController pid;
+  core::GlobalSnapshot snap = snapshot_with_worst(1.0);
+  snap.entries[7].ever_heard = false;  // silent node reads as 0% reliable
+  int n = pid.decide(snap, false, 3);
+  EXPECT_GE(n, 5);  // strong proportional kick
+}
+
+TEST(PidController, UnaccountedNodesAreIgnored) {
+  PidController pid;
+  core::GlobalSnapshot snap = snapshot_with_worst(1.0);
+  snap.entries[7].ever_heard = false;
+  snap.entries[7].accounted = false;  // excluded from evaluation
+  int n = 3;
+  for (int r = 0; r < 5; ++r) n = pid.decide(snap, true, n);
+  EXPECT_LE(n, 3);  // no kick: the silent node does not count
+}
+
+TEST(PidController, ResetRestoresStartingPoint) {
+  PidController pid;
+  auto lossy = snapshot_with_worst(0.4);
+  int n = 3;
+  for (int r = 0; r < 20; ++r) n = pid.decide(lossy, false, n);
+  pid.reset();
+  auto clean = snapshot_with_worst(1.0);
+  EXPECT_LE(pid.decide(clean, true, 8), 3);
+}
+
+TEST(PidController, AntiWindupBoundsIntegral) {
+  PidController::Config cfg;
+  PidController pid(cfg);
+  auto lossy = snapshot_with_worst(0.0);
+  for (int r = 0; r < 1000; ++r) pid.decide(lossy, false, 8);
+  EXPECT_LE(pid.integral(), cfg.integral_max);
+  EXPECT_GE(pid.integral(), 0.0);
+}
+
+TEST(PidController, RejectsBadConfig) {
+  PidController::Config cfg;
+  cfg.n_max = 0;
+  EXPECT_THROW(PidController{cfg}, util::RequireError);
+  cfg = PidController::Config{};
+  cfg.integral_max = -1.0;
+  EXPECT_THROW(PidController{cfg}, util::RequireError);
+}
+
+}  // namespace
+}  // namespace dimmer::baselines

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "core/controller.hpp"
+
+namespace dimmer::core {
+namespace {
+
+TEST(ApplyAction, MovesByOneStep) {
+  EXPECT_EQ(apply_action(3, AdaptAction::kDecrease), 2);
+  EXPECT_EQ(apply_action(3, AdaptAction::kMaintain), 3);
+  EXPECT_EQ(apply_action(3, AdaptAction::kIncrease), 4);
+}
+
+TEST(ApplyAction, ClampsToValidRange) {
+  EXPECT_EQ(apply_action(1, AdaptAction::kDecrease), 1);  // never 0 globally
+  EXPECT_EQ(apply_action(8, AdaptAction::kIncrease), 8);
+  EXPECT_EQ(apply_action(5, AdaptAction::kIncrease, 5), 5);
+}
+
+TEST(StaticController, AlwaysReturnsConfiguredValue) {
+  StaticController c(3);
+  GlobalSnapshot snap(4);
+  EXPECT_EQ(c.decide(snap, true, 7), 3);
+  EXPECT_EQ(c.decide(snap, false, 1), 3);
+  EXPECT_STREQ(c.name(), "static");
+}
+
+TEST(StaticController, RejectsOutOfRange) {
+  EXPECT_THROW(StaticController(0), util::RequireError);
+  EXPECT_THROW(StaticController(9), util::RequireError);
+}
+
+rl::QuantizedMlp make_policy(std::uint64_t seed = 1) {
+  FeatureBuilder fb((FeatureConfig()));
+  return rl::QuantizedMlp(rl::Mlp({fb.input_size(), 30, 3}, seed));
+}
+
+GlobalSnapshot snapshot18() {
+  GlobalSnapshot snap(18);
+  snap.current_round = 2;
+  for (auto& e : snap.entries) {
+    e.reliability = 1.0;
+    e.radio_on_ms = 8.0;
+    e.round = 2;
+    e.ever_heard = true;
+  }
+  return snap;
+}
+
+TEST(DqnController, OutputAlwaysInValidRange) {
+  DqnController c(make_policy(), FeatureConfig{});
+  GlobalSnapshot snap = snapshot18();
+  int n = 3;
+  for (int r = 0; r < 50; ++r) {
+    n = c.decide(snap, r % 3 != 0, n);
+    EXPECT_GE(n, 1);
+    EXPECT_LE(n, 8);
+  }
+}
+
+TEST(DqnController, MovesAtMostOneStepPerRound) {
+  DqnController c(make_policy(2), FeatureConfig{});
+  GlobalSnapshot snap = snapshot18();
+  int n = 4;
+  for (int r = 0; r < 30; ++r) {
+    int next = c.decide(snap, true, n);
+    EXPECT_LE(std::abs(next - n), 1);
+    n = next;
+  }
+}
+
+TEST(DqnController, FeatureVectorExposedForDiagnostics) {
+  FeatureConfig cfg;
+  DqnController c(make_policy(3), cfg);
+  GlobalSnapshot snap = snapshot18();
+  c.decide(snap, true, 3);
+  EXPECT_EQ(static_cast<int>(c.last_features().size()),
+            FeatureBuilder(cfg).input_size());
+}
+
+TEST(DqnController, HistoryEntersTheFeatures) {
+  FeatureConfig cfg;  // M = 2
+  DqnController c(make_policy(4), cfg);
+  GlobalSnapshot snap = snapshot18();
+  c.decide(snap, false, 3);
+  // Most recent history bit (position 29) reflects the lossy round.
+  EXPECT_DOUBLE_EQ(c.last_features()[29], -1.0);
+  c.decide(snap, true, 3);
+  EXPECT_DOUBLE_EQ(c.last_features()[29], 1.0);
+  EXPECT_DOUBLE_EQ(c.last_features()[30], -1.0);  // shifted
+}
+
+TEST(DqnController, RejectsShapeMismatch) {
+  FeatureConfig cfg;
+  cfg.k = 5;  // input 21, policy expects 31
+  EXPECT_THROW(DqnController(make_policy(), cfg), util::RequireError);
+  // Wrong output arity.
+  rl::QuantizedMlp bad(rl::Mlp({31, 30, 4}, 1));
+  EXPECT_THROW(DqnController(std::move(bad), FeatureConfig{}),
+               util::RequireError);
+}
+
+}  // namespace
+}  // namespace dimmer::core

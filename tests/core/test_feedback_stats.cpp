@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "core/feedback.hpp"
+#include "core/stats_collector.hpp"
+
+namespace dimmer::core {
+namespace {
+
+TEST(FeedbackCodec, TwoBytesOnTheWire) {
+  EXPECT_EQ(kFeedbackHeaderBytes, 2);
+  EXPECT_EQ(sizeof(FeedbackHeader), 2u);
+}
+
+TEST(FeedbackCodec, RoundTripWithinQuantization) {
+  for (double rel : {0.0, 0.25, 0.5, 0.973, 1.0}) {
+    for (double radio : {0.0, 3.7, 12.3, 20.0}) {
+      FeedbackHeader h = encode_feedback(rel, radio, 20.0);
+      EXPECT_NEAR(decode_reliability(h), rel, 0.5 / 255.0 + 1e-12);
+      EXPECT_NEAR(decode_radio_on_ms(h, 20.0), radio, 20.0 * 0.5 / 255.0 + 1e-12);
+    }
+  }
+}
+
+TEST(FeedbackCodec, ClampsOutOfRange) {
+  FeedbackHeader h = encode_feedback(1.7, 35.0, 20.0);
+  EXPECT_DOUBLE_EQ(decode_reliability(h), 1.0);
+  EXPECT_DOUBLE_EQ(decode_radio_on_ms(h, 20.0), 20.0);
+  FeedbackHeader lo = encode_feedback(-0.3, -5.0, 20.0);
+  EXPECT_DOUBLE_EQ(decode_reliability(lo), 0.0);
+  EXPECT_DOUBLE_EQ(decode_radio_on_ms(lo, 20.0), 0.0);
+}
+
+TEST(FeedbackCodec, ExtremesAreExact) {
+  FeedbackHeader full = encode_feedback(1.0, 20.0, 20.0);
+  EXPECT_EQ(full.reliability_q, 255);
+  EXPECT_EQ(full.radio_on_q, 255);
+  FeedbackHeader empty = encode_feedback(0.0, 0.0, 20.0);
+  EXPECT_EQ(empty.reliability_q, 0);
+  EXPECT_EQ(empty.radio_on_q, 0);
+}
+
+TEST(FeedbackCodec, RejectsNonPositiveSlot) {
+  EXPECT_THROW(encode_feedback(1.0, 5.0, 0.0), util::RequireError);
+}
+
+TEST(StatsCollector, FreshCollectorIsOptimistic) {
+  StatsCollector s;
+  EXPECT_DOUBLE_EQ(s.reliability(), 1.0);
+  EXPECT_DOUBLE_EQ(s.radio_on_ms(), 0.0);
+}
+
+TEST(StatsCollector, PrrCountsOnlyReceptionSlots) {
+  StatsCollector s(10, 20.0, 10);
+  s.record_reception_slot(true, sim::ms(8));
+  s.record_reception_slot(false, sim::ms(20));
+  s.record_energy_only_slot(sim::ms(18));  // own TX slot: energy only
+  EXPECT_DOUBLE_EQ(s.reliability(), 0.5);
+  EXPECT_EQ(s.reception_slots_seen(), 2u);
+}
+
+TEST(StatsCollector, RadioAveragesAllSlots) {
+  StatsCollector s(10, 20.0, 10);
+  s.record_reception_slot(true, sim::ms(10));
+  s.record_energy_only_slot(sim::ms(20));
+  EXPECT_DOUBLE_EQ(s.radio_on_ms(), 15.0);
+}
+
+TEST(StatsCollector, SlidingWindowForgetsOldLosses) {
+  StatsCollector s(4, 20.0, 4);
+  s.record_reception_slot(false, sim::ms(20));
+  for (int i = 0; i < 4; ++i) s.record_reception_slot(true, sim::ms(8));
+  EXPECT_DOUBLE_EQ(s.reliability(), 1.0);  // the loss rolled out
+}
+
+TEST(StatsCollector, SeparateWindowsForPrrAndRadio) {
+  // PRR window 4, radio window 2: the radio average must react faster.
+  StatsCollector s(4, 20.0, 2);
+  s.record_reception_slot(true, sim::ms(20));
+  s.record_reception_slot(true, sim::ms(20));
+  s.record_reception_slot(true, sim::ms(4));
+  s.record_reception_slot(true, sim::ms(4));
+  EXPECT_DOUBLE_EQ(s.radio_on_ms(), 4.0);  // only the last two slots
+  EXPECT_DOUBLE_EQ(s.reliability(), 1.0);
+}
+
+TEST(StatsCollector, SnapshotQuantizesThroughWireFormat) {
+  StatsCollector s(8, 20.0, 8);
+  for (int i = 0; i < 3; ++i) s.record_reception_slot(true, sim::ms(7));
+  s.record_reception_slot(false, sim::ms(20));
+  FeedbackHeader h = s.snapshot();
+  EXPECT_NEAR(decode_reliability(h), 0.75, 1.0 / 255.0);
+  EXPECT_NEAR(decode_radio_on_ms(h, 20.0), 10.25, 20.0 / 255.0);
+}
+
+TEST(StatsCollector, ResetClearsEverything) {
+  StatsCollector s;
+  s.record_reception_slot(false, sim::ms(20));
+  s.reset();
+  EXPECT_DOUBLE_EQ(s.reliability(), 1.0);
+  EXPECT_DOUBLE_EQ(s.radio_on_ms(), 0.0);
+  EXPECT_EQ(s.reception_slots_seen(), 0u);
+}
+
+}  // namespace
+}  // namespace dimmer::core

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "core/forwarder.hpp"
+
+namespace dimmer::core {
+namespace {
+
+TEST(ForwarderSelection, StartsAllActive) {
+  ForwarderSelection fs(18, 0, ForwarderConfig{});
+  EXPECT_EQ(fs.active_count(), 18);
+  for (bool r : fs.roles()) EXPECT_TRUE(r);
+}
+
+TEST(ForwarderSelection, TurnsLastTenRounds) {
+  ForwarderConfig cfg;
+  cfg.rounds_per_turn = 10;
+  ForwarderSelection fs(6, 0, cfg);
+  util::Pcg32 rng(1);
+  fs.begin_round(rng);
+  phy::NodeId first = fs.current_learner();
+  for (int r = 0; r < 9; ++r) {
+    fs.end_round(1.0);
+    fs.begin_round(rng);
+    EXPECT_EQ(fs.current_learner(), first) << "turn changed early at " << r;
+  }
+  fs.end_round(1.0);
+  fs.begin_round(rng);
+  EXPECT_NE(fs.current_learner(), first);
+  fs.end_round(1.0);
+}
+
+TEST(ForwarderSelection, CoordinatorNeverLearns) {
+  ForwarderConfig cfg;
+  cfg.rounds_per_turn = 1;
+  ForwarderSelection fs(5, 2, cfg);
+  util::Pcg32 rng(2);
+  for (int r = 0; r < 40; ++r) {
+    fs.begin_round(rng);
+    EXPECT_NE(fs.current_learner(), 2);
+    fs.end_round(1.0);
+    EXPECT_TRUE(fs.roles()[2]);
+  }
+}
+
+TEST(ForwarderSelection, EveryNodeGetsATurnPerEpoch) {
+  ForwarderConfig cfg;
+  cfg.rounds_per_turn = 1;
+  ForwarderSelection fs(8, 0, cfg);
+  util::Pcg32 rng(3);
+  std::set<phy::NodeId> learners;
+  for (int r = 0; r < 7; ++r) {
+    fs.begin_round(rng);
+    learners.insert(fs.current_learner());
+    fs.end_round(1.0);
+  }
+  EXPECT_EQ(learners.size(), 7u);
+  EXPECT_EQ(fs.epoch(), 0u);
+  fs.begin_round(rng);
+  fs.end_round(1.0);
+  EXPECT_EQ(fs.epoch(), 1u);  // reshuffled into the next epoch
+}
+
+TEST(ForwarderSelection, LearnersEventuallyTryPassivity) {
+  ForwarderSelection fs(10, 0, ForwarderConfig{});
+  util::Pcg32 rng(4);
+  int passive_seen = 0;
+  for (int r = 0; r < 400; ++r) {
+    fs.begin_round(rng);
+    if (!fs.roles()[fs.current_learner()]) ++passive_seen;
+    fs.end_round(1.0);  // lossless: passivity is rewarded
+  }
+  EXPECT_GT(passive_seen, 50);
+  // With consistently lossless rounds, some nodes settle passive.
+  EXPECT_LT(fs.active_count(), 10);
+}
+
+TEST(ForwarderSelection, BreakingRoundResetsLearnersPassiveArm) {
+  ForwarderConfig cfg;
+  cfg.breaking_reliability = 0.9;
+  ForwarderSelection fs(4, 0, cfg);
+  util::Pcg32 rng(5);
+  // Drive the learner into passivity, then break the network.
+  for (int r = 0; r < 200; ++r) {
+    fs.begin_round(rng);
+    phy::NodeId learner = fs.current_learner();
+    bool passive = !fs.roles()[learner];
+    fs.end_round(passive ? 0.5 : 1.0);  // passivity breaks the network
+    if (passive) {
+      // Punished: back to forwarding, weights reinitialised.
+      EXPECT_TRUE(fs.roles()[learner]);
+      EXPECT_DOUBLE_EQ(fs.bandit(learner).weights()[1], 1.0);
+    }
+  }
+  EXPECT_EQ(fs.active_count(), 4);  // nobody stays passive when it breaks
+}
+
+TEST(ForwarderSelection, NetworkWideBreakingPenalty) {
+  ForwarderSelection fs(6, 0, ForwarderConfig{});
+  util::Pcg32 rng(6);
+  // Let some nodes go passive first.
+  for (int r = 0; r < 300; ++r) {
+    fs.begin_round(rng);
+    fs.end_round(1.0);
+  }
+  ASSERT_LT(fs.active_count(), 6);
+  std::vector<double> views(6, 0.5);  // everyone observed a broken round
+  fs.apply_breaking_penalty(views);
+  EXPECT_EQ(fs.active_count(), 6);
+}
+
+TEST(ForwarderSelection, BreakingPenaltySparesHealthyObservers) {
+  ForwarderSelection fs(6, 0, ForwarderConfig{});
+  util::Pcg32 rng(7);
+  for (int r = 0; r < 300; ++r) {
+    fs.begin_round(rng);
+    fs.end_round(1.0);
+  }
+  int active_before = fs.active_count();
+  ASSERT_LT(active_before, 6);
+  std::vector<double> views(6, 1.0);  // everyone saw a clean round
+  fs.apply_breaking_penalty(views);
+  EXPECT_EQ(fs.active_count(), active_before);
+}
+
+TEST(ForwarderSelection, DeterministicOrderPerSeed) {
+  ForwarderConfig cfg;
+  cfg.rounds_per_turn = 1;
+  ForwarderSelection a(8, 0, cfg), b(8, 0, cfg);
+  util::Pcg32 ra(9), rb(9);
+  for (int r = 0; r < 20; ++r) {
+    a.begin_round(ra);
+    b.begin_round(rb);
+    EXPECT_EQ(a.current_learner(), b.current_learner());
+    a.end_round(1.0);
+    b.end_round(1.0);
+  }
+}
+
+TEST(ForwarderSelection, RejectsBadUsage) {
+  EXPECT_THROW(ForwarderSelection(1, 0, ForwarderConfig{}),
+               util::RequireError);
+  EXPECT_THROW(ForwarderSelection(5, 9, ForwarderConfig{}),
+               util::RequireError);
+  ForwarderSelection fs(4, 0, ForwarderConfig{});
+  EXPECT_THROW(fs.end_round(1.0), util::RequireError);  // no begin
+  util::Pcg32 rng(1);
+  fs.begin_round(rng);
+  EXPECT_THROW(fs.begin_round(rng), util::RequireError);  // double begin
+  EXPECT_THROW(fs.apply_breaking_penalty({1.0}), util::RequireError);
+}
+
+}  // namespace
+}  // namespace dimmer::core

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "core/protocol.hpp"
+#include "core/scenarios.hpp"
+#include "phy/topology.hpp"
+
+namespace dimmer::core {
+namespace {
+
+std::vector<phy::NodeId> all_sources(int n) {
+  std::vector<phy::NodeId> s;
+  for (int i = 1; i < n; ++i) s.push_back(i);
+  s.push_back(0);
+  return s;
+}
+
+TEST(DimmerNetwork, CleanNetworkIsLossless) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  ProtocolConfig cfg;
+  DimmerNetwork net(topo, field, cfg, std::make_unique<StaticController>(3),
+                    0, 1);
+  RoundStats rs = net.run_round(all_sources(18));
+  EXPECT_TRUE(rs.lossless);
+  EXPECT_DOUBLE_EQ(rs.reliability, 1.0);
+  EXPECT_TRUE(rs.coordinator_lossless);
+  EXPECT_GT(rs.radio_on_ms, 1.0);
+  EXPECT_LT(rs.radio_on_ms, 20.0);
+  EXPECT_EQ(rs.n_tx, 3);
+  EXPECT_EQ(rs.desynchronized, 0);
+}
+
+TEST(DimmerNetwork, TimeAdvancesByRoundPeriod) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  ProtocolConfig cfg;
+  cfg.round_period = sim::seconds(4);
+  cfg.start_time = sim::hours(1);
+  DimmerNetwork net(topo, field, cfg, std::make_unique<StaticController>(3),
+                    0, 1);
+  EXPECT_EQ(net.now(), sim::hours(1));
+  net.run_round(all_sources(18));
+  EXPECT_EQ(net.now(), sim::hours(1) + sim::seconds(4));
+  EXPECT_EQ(net.round_index(), 1u);
+}
+
+TEST(DimmerNetwork, SnapshotsTurnFreshAfterARound) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  DimmerNetwork net(topo, field, ProtocolConfig{},
+                    std::make_unique<StaticController>(3), 0, 2);
+  net.run_round(all_sources(18));
+  const GlobalSnapshot& snap = net.snapshot(0);
+  int fresh = 0;
+  for (int i = 0; i < 18; ++i) fresh += snap.fresh(i);
+  EXPECT_EQ(fresh, 18);  // all headers heard on a clean network
+}
+
+TEST(DimmerNetwork, ControllerDrivesCommandedParameter) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  DimmerNetwork net(topo, field, ProtocolConfig{},
+                    std::make_unique<StaticController>(6), 0, 3);
+  EXPECT_EQ(net.commanded_n_tx(), 3);  // initial_n_tx until first decision
+  net.run_round(all_sources(18));
+  EXPECT_EQ(net.commanded_n_tx(), 6);
+}
+
+TEST(DimmerNetwork, SinkReceptionTracksDataSlots) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  DimmerNetwork net(topo, field, ProtocolConfig{},
+                    std::make_unique<StaticController>(3), 0, 4);
+  RoundStats rs = net.run_round({5, 9});
+  ASSERT_EQ(rs.sink_received.size(), 2u);
+  EXPECT_TRUE(rs.sink_received[0]);
+  EXPECT_TRUE(rs.sink_received[1]);
+  EXPECT_EQ(net.sink(), 0);  // defaults to the coordinator
+}
+
+TEST(DimmerNetwork, ExplicitSink) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  ProtocolConfig cfg;
+  cfg.sink = 7;
+  DimmerNetwork net(topo, field, cfg, std::make_unique<StaticController>(3),
+                    0, 4);
+  EXPECT_EQ(net.sink(), 7);
+}
+
+TEST(DimmerNetwork, HeavyJammingBreaksLossless) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  add_static_jamming(field, topo, 0.35);
+  DimmerNetwork net(topo, field, ProtocolConfig{},
+                    std::make_unique<StaticController>(1), 0, 5);
+  int lossy = 0;
+  for (int r = 0; r < 20; ++r) {
+    RoundStats rs = net.run_round(all_sources(18));
+    if (!rs.lossless) ++lossy;
+    EXPECT_LE(rs.reliability, 1.0);
+  }
+  EXPECT_GT(lossy, 15);
+}
+
+TEST(DimmerNetwork, DeterministicGivenSeed) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  add_static_jamming(field, topo, 0.2);
+  auto run = [&](std::uint64_t seed) {
+    DimmerNetwork net(topo, field, ProtocolConfig{},
+                      std::make_unique<StaticController>(3), 0, seed);
+    std::vector<double> rels;
+    for (int r = 0; r < 10; ++r)
+      rels.push_back(net.run_round(all_sources(18)).reliability);
+    return rels;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(DimmerNetwork, FeedbackSubsetIsHonoured) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  ProtocolConfig cfg;
+  cfg.feedback_nodes = {0, 1, 2};
+  DimmerNetwork net(topo, field, cfg, std::make_unique<StaticController>(3),
+                    0, 6);
+  net.run_round(all_sources(18));
+  const GlobalSnapshot& snap = net.snapshot(0);
+  EXPECT_TRUE(snap.entries[1].accounted);
+  EXPECT_FALSE(snap.entries[5].accounted);
+}
+
+TEST(DimmerNetwork, MabRoundsOnlyAfterCalmPeriod) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  ProtocolConfig cfg;
+  cfg.forwarder_selection = true;
+  cfg.mab_calm_rounds = 2;
+  DimmerNetwork net(topo, field, cfg, std::make_unique<StaticController>(3),
+                    0, 7);
+  RoundStats r0 = net.run_round(all_sources(18));
+  EXPECT_FALSE(r0.mab_round);  // calm counter still 0
+  net.run_round(all_sources(18));
+  RoundStats r2 = net.run_round(all_sources(18));
+  EXPECT_TRUE(r2.mab_round);  // two clean rounds passed
+}
+
+TEST(DimmerNetwork, MabEveryRoundWhenCalmGateIsZero) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  ProtocolConfig cfg;
+  cfg.forwarder_selection = true;
+  cfg.mab_calm_rounds = 0;
+  DimmerNetwork net(topo, field, cfg, std::make_unique<StaticController>(3),
+                    0, 8);
+  EXPECT_TRUE(net.run_round(all_sources(18)).mab_round);
+  EXPECT_NE(net.forwarder_selection(), nullptr);
+}
+
+TEST(DimmerNetwork, ForwarderRolesReduceActiveCountOverTime) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  ProtocolConfig cfg;
+  cfg.forwarder_selection = true;
+  cfg.mab_calm_rounds = 0;
+  cfg.start_time = sim::hours(23);  // quiet night
+  DimmerNetwork net(topo, field, cfg, std::make_unique<StaticController>(3),
+                    0, 9);
+  int min_active = 18;
+  for (int r = 0; r < 500; ++r) {
+    RoundStats rs = net.run_round(all_sources(18));
+    min_active = std::min(min_active, rs.active_forwarders);
+  }
+  EXPECT_LT(min_active, 18);
+}
+
+TEST(DimmerNetwork, RejectsBadConfig) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  ProtocolConfig bad;
+  bad.initial_n_tx = 0;
+  EXPECT_THROW(DimmerNetwork(topo, field, bad,
+                             std::make_unique<StaticController>(3), 0, 1),
+               util::RequireError);
+  ProtocolConfig cfg;
+  EXPECT_THROW(
+      DimmerNetwork(topo, field, cfg, nullptr, 0, 1), util::RequireError);
+  EXPECT_THROW(DimmerNetwork(topo, field, cfg,
+                             std::make_unique<StaticController>(3), 99, 1),
+               util::RequireError);
+  ProtocolConfig bad_sink;
+  bad_sink.sink = 99;
+  EXPECT_THROW(DimmerNetwork(topo, field, bad_sink,
+                             std::make_unique<StaticController>(3), 0, 1),
+               util::RequireError);
+}
+
+TEST(DimmerNetwork, TotalRadioAccountingIsConsistent) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  DimmerNetwork net(topo, field, ProtocolConfig{},
+                    std::make_unique<StaticController>(3), 0, 10);
+  RoundStats rs = net.run_round(all_sources(18));
+  EXPECT_GT(rs.total_radio_on_us, 0);
+  // Total <= nodes * slots * slot_len.
+  EXPECT_LE(rs.total_radio_on_us, 18LL * 19 * sim::ms(20));
+}
+
+}  // namespace
+}  // namespace dimmer::core

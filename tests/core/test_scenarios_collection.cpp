@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "core/collection.hpp"
+#include "core/scenarios.hpp"
+#include "phy/topology.hpp"
+
+namespace dimmer::core {
+namespace {
+
+TEST(Scenarios, JammerPositionsSitInsideTheDeployment) {
+  phy::Topology topo = phy::make_office18_topology();
+  for (int j : {0, 1}) {
+    phy::Vec2 p = office_jammer_position(topo, j);
+    EXPECT_GT(p.x, 0.0);
+    EXPECT_LT(p.x, 60.0);
+  }
+  EXPECT_THROW(office_jammer_position(topo, 2), util::RequireError);
+}
+
+TEST(Scenarios, StaticJammingAddsTwoDesynchronizedJammers) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  add_static_jamming(field, topo, 0.3);
+  EXPECT_EQ(field.size(), 2u);
+  // Bursts are phase-shifted: at t in [0,13ms) only one jammer is active,
+  // so exposure at a central node is positive but power varies over time.
+  auto s = field.sample(0, sim::ms(5), phy::kControlChannel, 8, topo);
+  EXPECT_GT(s.power_mw, 0.0);
+}
+
+TEST(Scenarios, ZeroDutyAddsNothing) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  add_static_jamming(field, topo, 0.0);
+  EXPECT_TRUE(field.empty());
+}
+
+TEST(Scenarios, DynamicJammingFollowsTheTimeline) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  add_dynamic_jamming(field, topo);
+  auto active = [&](sim::TimeUs t) {
+    auto s = field.sample(t, t + sim::seconds(2), phy::kControlChannel, 8,
+                          topo);
+    return s.exposure > 0.0;
+  };
+  EXPECT_FALSE(active(sim::minutes(3)));   // calm
+  EXPECT_TRUE(active(sim::minutes(8)));    // 30% phase
+  EXPECT_FALSE(active(sim::minutes(14)));  // calm again
+  EXPECT_TRUE(active(sim::minutes(18)));   // 5% phase
+  EXPECT_FALSE(active(sim::minutes(24)));  // calm tail
+}
+
+TEST(Scenarios, DynamicJammingHonoursOrigin) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  add_dynamic_jamming(field, topo, phy::kControlChannel, sim::hours(10));
+  auto exposure = [&](sim::TimeUs t) {
+    return field
+        .sample(t, t + sim::seconds(2), phy::kControlChannel, 8, topo)
+        .exposure;
+  };
+  EXPECT_DOUBLE_EQ(exposure(sim::minutes(8)), 0.0);  // before the origin
+  EXPECT_GT(exposure(sim::hours(10) + sim::minutes(8)), 0.0);
+}
+
+TEST(Scenarios, TrainingScheduleAlternatesCalmAndJam) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  add_training_schedule(field, topo, sim::hours(2), 5);
+  EXPECT_GT(field.size(), 2u);
+  // Somewhere in the two hours there must be both jammed and calm minutes.
+  int jammed = 0, calm = 0;
+  for (int m = 0; m < 120; m += 3) {
+    auto s = field.sample(sim::minutes(m), sim::minutes(m) + sim::seconds(20),
+                          phy::kControlChannel, 8, topo);
+    (s.exposure > 0.05 ? jammed : calm)++;
+  }
+  EXPECT_GT(jammed, 3);
+  EXPECT_GT(calm, 3);
+}
+
+std::unique_ptr<DimmerNetwork> collection_network(
+    const phy::Topology& topo, const phy::InterferenceField& field,
+    bool hop, std::uint64_t seed) {
+  ProtocolConfig cfg;
+  cfg.round_period = sim::seconds(1);
+  cfg.stats_window_slots = 12;
+  cfg.radio_window_slots = 7;
+  if (hop)
+    cfg.round.hop_sequence.assign(phy::default_hopping_sequence().begin(),
+                                  phy::default_hopping_sequence().end());
+  return std::make_unique<DimmerNetwork>(
+      topo, field, cfg, std::make_unique<StaticController>(3), 0, seed);
+}
+
+TEST(Collection, CleanNetworkDeliversEverything) {
+  phy::Topology topo = phy::make_dcube48_topology();
+  phy::InterferenceField field;
+  auto net = collection_network(topo, field, false, 1);
+  CollectionConfig cfg;
+  cfg.duration = sim::minutes(2);
+  CollectionResult res = run_collection(*net, cfg);
+  EXPECT_GT(res.sent, 50);
+  EXPECT_DOUBLE_EQ(res.reliability, 1.0);
+  EXPECT_GT(res.radio_duty, 0.0);
+  EXPECT_LT(res.radio_duty, 0.2);
+  EXPECT_EQ(res.rounds, 120);
+}
+
+TEST(Collection, AcksRecoverWhatBestEffortLoses) {
+  phy::Topology topo = phy::make_dcube48_topology();
+  phy::InterferenceField field;
+  phy::add_dcube_wifi_level(field, topo, 2);
+
+  auto best_effort_net = collection_network(topo, field, false, 2);
+  CollectionConfig be;
+  be.duration = sim::minutes(3);
+  be.acks = false;
+  CollectionResult lossy = run_collection(*best_effort_net, be);
+
+  auto ack_net = collection_network(topo, field, true, 2);
+  CollectionConfig ak = be;
+  ak.acks = true;
+  CollectionResult repaired = run_collection(*ack_net, ak);
+
+  EXPECT_LT(lossy.reliability, 0.9);
+  EXPECT_GT(repaired.reliability, lossy.reliability + 0.1);
+}
+
+TEST(Collection, SourcesSkipSinkAndCoordinator) {
+  phy::Topology topo = phy::make_dcube48_topology();
+  phy::InterferenceField field;
+  auto net = collection_network(topo, field, false, 3);
+  CollectionConfig cfg;
+  cfg.duration = sim::seconds(30);
+  CollectionResult res = run_collection(*net, cfg);
+  EXPECT_GT(res.rounds, 0);
+  // The run must complete without the sink sourcing to itself (would throw).
+}
+
+TEST(Collection, RejectsBadConfig) {
+  phy::Topology topo = phy::make_dcube48_topology();
+  phy::InterferenceField field;
+  auto net = collection_network(topo, field, false, 4);
+  CollectionConfig cfg;
+  cfg.n_sources = 0;
+  EXPECT_THROW(run_collection(*net, cfg), util::RequireError);
+  cfg = CollectionConfig{};
+  cfg.n_sources = 99;
+  EXPECT_THROW(run_collection(*net, cfg), util::RequireError);
+  cfg = CollectionConfig{};
+  cfg.duration = 0;
+  EXPECT_THROW(run_collection(*net, cfg), util::RequireError);
+}
+
+}  // namespace
+}  // namespace dimmer::core

@@ -1,0 +1,82 @@
+// Flood propagation latency properties: Glossy delivers hop by hop, one
+// airtime step per hop, so reception step indices must grow with distance
+// from the initiator.
+#include <gtest/gtest.h>
+
+#include "flood/glossy.hpp"
+#include "phy/topology.hpp"
+
+namespace dimmer::flood {
+namespace {
+
+TEST(FloodLatency, ReceptionStepGrowsAlongAChain) {
+  phy::Topology topo = phy::make_line_topology(6, 14.0, /*seed=*/2);
+  phy::InterferenceField field;
+  GlossyFlood engine(topo, field);
+  std::vector<NodeFloodConfig> cfgs(6, NodeFloodConfig{3, true});
+  // Average first-reception step over many floods (fading jitters singles).
+  std::vector<double> avg(6, 0.0);
+  util::Pcg32 rng(3);
+  const int floods = 100;
+  int delivered_all = 0;
+  for (int f = 0; f < floods; ++f) {
+    FloodResult r = engine.run(0, cfgs, FloodParams{}, rng);
+    bool all = true;
+    for (int i = 1; i < 6; ++i) {
+      if (!r.nodes[i].received) {
+        all = false;
+        break;
+      }
+    }
+    if (!all) continue;
+    ++delivered_all;
+    for (int i = 1; i < 6; ++i) avg[i] += r.nodes[i].first_rx_step;
+  }
+  ASSERT_GT(delivered_all, floods / 2);
+  for (int i = 1; i < 6; ++i) avg[i] /= delivered_all;
+  // Strictly increasing mean latency along the chain.
+  for (int i = 2; i < 6; ++i) EXPECT_GT(avg[i], avg[i - 1]) << "hop " << i;
+  // The far end needs several steps; the first hop arrives almost at once.
+  EXPECT_LT(avg[1], 1.5);
+  EXPECT_GT(avg[5], 2.5);
+}
+
+TEST(FloodLatency, InitiatorNeighborsHearTheFirstTransmission) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  GlossyFlood engine(topo, field);
+  std::vector<NodeFloodConfig> cfgs(18, NodeFloodConfig{3, true});
+  util::Pcg32 rng(4);
+  FloodResult r = engine.run(0, cfgs, FloodParams{}, rng);
+  int heard_at_step0 = 0;
+  for (int i = 1; i < 18; ++i)
+    if (r.nodes[i].received && r.nodes[i].first_rx_step == 0)
+      ++heard_at_step0;
+  EXPECT_GE(heard_at_step0, 2);  // the initiator has one-hop neighbors
+}
+
+TEST(FloodLatency, HigherBudgetDoesNotSlowFirstReception) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  GlossyFlood engine(topo, field);
+  auto mean_latency = [&](int n_tx) {
+    std::vector<NodeFloodConfig> cfgs(18, NodeFloodConfig{n_tx, true});
+    util::Pcg32 rng(5);
+    double acc = 0.0;
+    int count = 0;
+    for (int f = 0; f < 60; ++f) {
+      FloodResult r = engine.run(0, cfgs, FloodParams{}, rng);
+      for (int i = 1; i < 18; ++i) {
+        if (!r.nodes[i].received) continue;
+        acc += r.nodes[i].first_rx_step;
+        ++count;
+      }
+    }
+    return acc / count;
+  };
+  // More retransmissions may only help stragglers; the bulk latency stays.
+  EXPECT_NEAR(mean_latency(8), mean_latency(3), 1.0);
+}
+
+}  // namespace
+}  // namespace dimmer::flood

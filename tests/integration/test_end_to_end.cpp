@@ -1,0 +1,167 @@
+// Integration tests crossing module boundaries: trace collection -> DQN
+// training -> quantized deployment -> closed-loop adaptation; plus the PID
+// baseline driving a live network, and the combined DQN + forwarder
+// selection mode.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/pid.hpp"
+#include "core/controller.hpp"
+#include "core/protocol.hpp"
+#include "core/scenarios.hpp"
+#include "core/trace_env.hpp"
+#include "phy/topology.hpp"
+#include "rl/quantized.hpp"
+#include "util/stats.hpp"
+
+namespace dimmer {
+namespace {
+
+std::vector<phy::NodeId> all_sources(int n) {
+  std::vector<phy::NodeId> s;
+  for (int i = 1; i < n; ++i) s.push_back(i);
+  s.push_back(0);
+  return s;
+}
+
+TEST(Integration, PidClosedLoopCountersInterference) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  core::add_static_jamming(field, topo, 0.30);
+
+  core::ProtocolConfig cfg;
+  core::DimmerNetwork net(topo, field, cfg,
+                          std::make_unique<baselines::PidController>(), 0, 3);
+  auto sources = all_sources(18);
+  util::RunningStats early, late;
+  int max_n = 0;
+  for (int r = 0; r < 40; ++r) {
+    core::RoundStats rs = net.run_round(sources);
+    (r < 5 ? early : late).add(rs.reliability);
+    max_n = std::max(max_n, rs.n_tx);
+  }
+  EXPECT_EQ(max_n, 8);               // the controller ramped up
+  EXPECT_GT(late.mean(), 0.99);      // and interference is countered
+}
+
+TEST(Integration, TrainedQuantizedPolicyAdaptsEndToEnd) {
+  phy::Topology topo = phy::make_office18_topology();
+
+  // 1. Collect traces under the training schedule (small but real).
+  core::TraceCollectionConfig tc;
+  tc.steps = 400;
+  tc.seed = 13;
+  tc.start_time = sim::hours(10);
+  phy::InterferenceField train_field;
+  core::add_training_schedule(
+      train_field, topo,
+      tc.start_time + static_cast<sim::TimeUs>(tc.steps) * tc.round_period,
+      13);
+  core::TraceDataset traces = core::collect_traces(topo, train_field, tc);
+
+  // 2. Train a small-budget DQN.
+  core::TraceEnv::Config env_cfg;
+  core::TrainerConfig tr;
+  tr.total_steps = 30000;
+  tr.dqn.epsilon_anneal_steps = 15000;
+  tr.seed = 29;
+  rl::Mlp policy = core::train_dqn_on_traces(traces, env_cfg, tr);
+
+  // 3. Deploy the quantized network in a closed loop under heavy jamming.
+  phy::InterferenceField jam;
+  core::add_static_jamming(jam, topo, 0.30);
+  core::ProtocolConfig cfg;
+  core::DimmerNetwork net(
+      topo, jam, cfg,
+      std::make_unique<core::DqnController>(rl::QuantizedMlp(policy),
+                                            env_cfg.features),
+      0, 31);
+  auto sources = all_sources(18);
+  int max_n = 0;
+  util::RunningStats rel;
+  for (int r = 0; r < 30; ++r) {
+    core::RoundStats rs = net.run_round(sources);
+    max_n = std::max(max_n, rs.n_tx);
+    if (r >= 10) rel.add(rs.reliability);
+  }
+  // Even a small-budget policy must learn the core reflex: raise N_TX
+  // under sustained losses, and beat the static N=3 reliability floor.
+  EXPECT_GE(max_n, 5);
+  EXPECT_GT(rel.mean(), 0.95);
+}
+
+TEST(Integration, AdaptiveBeatsStaticUnderJamming) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  core::add_static_jamming(field, topo, 0.30);
+  auto sources = all_sources(18);
+
+  auto run = [&](std::unique_ptr<core::AdaptivityController> c) {
+    core::DimmerNetwork net(topo, field, core::ProtocolConfig{},
+                            std::move(c), 0, 5);
+    util::RunningStats rel;
+    for (int r = 0; r < 30; ++r) rel.add(net.run_round(sources).reliability);
+    return rel.mean();
+  };
+
+  double adaptive = run(std::make_unique<baselines::PidController>());
+  double fixed = run(std::make_unique<core::StaticController>(3));
+  EXPECT_GT(adaptive, fixed + 0.02);
+}
+
+TEST(Integration, CombinedModeSwitchesBetweenDqnAndMab) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  // Interference only in the middle third of the run.
+  phy::BurstJammer::Config jam = phy::BurstJammer::jamlab(
+      core::office_jammer_position(topo, 0), 0.3);
+  jam.start_us = sim::seconds(4) * 30;
+  jam.stop_us = sim::seconds(4) * 60;
+  field.add(std::make_unique<phy::BurstJammer>(jam));
+
+  core::ProtocolConfig cfg;
+  cfg.forwarder_selection = true;
+  cfg.mab_calm_rounds = 2;
+  core::DimmerNetwork net(topo, field, cfg,
+                          std::make_unique<baselines::PidController>(), 0, 7);
+  auto sources = all_sources(18);
+  int mab_calm = 0, mab_jam = 0, all_active_jam = 0;
+  for (int r = 0; r < 90; ++r) {
+    core::RoundStats rs = net.run_round(sources);
+    if (r >= 35 && r < 60) {
+      mab_jam += rs.mab_round;
+      // "Under interference, all devices are active" on post-loss rounds.
+      if (!rs.mab_round && rs.active_forwarders == 18) ++all_active_jam;
+    }
+    if (r >= 5 && r < 30) mab_calm += rs.mab_round;
+  }
+  EXPECT_GT(mab_calm, 20);        // calm: learning rounds dominate
+  EXPECT_LT(mab_jam, mab_calm);   // jam: control rounds claw time back
+  EXPECT_GT(all_active_jam, 0);   // the all-active fallback was exercised
+}
+
+TEST(Integration, FullRunStaysDeterministic) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  core::add_dynamic_jamming(field, topo);
+  auto run_once = [&] {
+    core::ProtocolConfig cfg;
+    cfg.forwarder_selection = true;
+    cfg.mab_calm_rounds = 0;
+    core::DimmerNetwork net(topo, field, cfg,
+                            std::make_unique<core::StaticController>(3), 0,
+                            11);
+    double acc = 0.0;
+    auto sources = all_sources(18);
+    for (int r = 0; r < 50; ++r) {
+      core::RoundStats rs = net.run_round(sources);
+      acc += rs.reliability + rs.radio_on_ms + rs.active_forwarders;
+    }
+    return acc;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace dimmer

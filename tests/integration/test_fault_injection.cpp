@@ -1,0 +1,145 @@
+// Crash-fault injection: nodes dropping out of (and rejoining) a live
+// network. Exercises the pessimistic-feedback path the paper's design
+// implies: a coordinator cannot distinguish a crashed node from a jammed
+// one, so missing feedback escalates N_TX until the operator prunes the
+// feedback subset.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/pid.hpp"
+#include "core/protocol.hpp"
+#include "core/scenarios.hpp"
+#include "phy/topology.hpp"
+#include "util/stats.hpp"
+
+namespace dimmer {
+namespace {
+
+std::vector<phy::NodeId> sources_excluding(int n, phy::NodeId skip) {
+  std::vector<phy::NodeId> s;
+  for (int i = 1; i < n; ++i)
+    if (i != skip) s.push_back(i);
+  s.push_back(0);
+  return s;
+}
+
+TEST(FaultInjection, NetworkSurvivesALeafCrash) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  core::DimmerNetwork net(topo, field, core::ProtocolConfig{},
+                          std::make_unique<core::StaticController>(3), 0, 1);
+  net.set_node_failed(17, true);  // far-end leaf
+  auto sources = sources_excluding(18, 17);
+  util::RunningStats rel;
+  for (int r = 0; r < 20; ++r) rel.add(net.run_round(sources).reliability);
+  // Remaining destinations still get everything.
+  EXPECT_GT(rel.mean(), 0.999);
+}
+
+TEST(FaultInjection, CrashedNodeConsumesNoEnergy) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  core::DimmerNetwork net(topo, field, core::ProtocolConfig{},
+                          std::make_unique<core::StaticController>(3), 0, 2);
+  net.set_node_failed(9, true);
+  core::RoundStats before = net.run_round(sources_excluding(18, 9));
+  (void)before;
+  // The failed node's stats collector never advances.
+  EXPECT_EQ(net.stats(9).reception_slots_seen(), 0u);
+}
+
+TEST(FaultInjection, CrashedSourceYieldsSilentSlots) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  core::DimmerNetwork net(topo, field, core::ProtocolConfig{},
+                          std::make_unique<core::StaticController>(3), 0, 3);
+  net.set_node_failed(5, true);
+  // Node 5 stays in the schedule (the coordinator does not know yet).
+  std::vector<phy::NodeId> sources;
+  for (int i = 1; i < 18; ++i) sources.push_back(i);
+  core::RoundStats rs = net.run_round(sources);
+  EXPECT_FALSE(rs.lossless);      // everyone misses node 5's packets
+  EXPECT_LT(rs.reliability, 1.0);
+  EXPECT_FALSE(rs.sink_received[4]);  // slot of source 5 (index 4)
+}
+
+TEST(FaultInjection, MissingFeedbackEscalatesAdaptiveController) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  core::DimmerNetwork net(topo, field, core::ProtocolConfig{},
+                          std::make_unique<baselines::PidController>(), 0, 4);
+  auto sources = sources_excluding(18, -1);  // everyone reports
+  for (int r = 0; r < 5; ++r) net.run_round(sources);
+  EXPECT_LE(net.commanded_n_tx(), 4);  // calm network, cheap parameter
+  // Node 11 crashes but stays scheduled: its silence reads as losses and
+  // 0% reliability, so the controller escalates.
+  net.set_node_failed(11, true);
+  for (int r = 0; r < 10; ++r) net.run_round(sources);
+  EXPECT_EQ(net.commanded_n_tx(), 8);
+}
+
+TEST(FaultInjection, FeedbackSubsetPruningRestoresCalm) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  core::ProtocolConfig cfg;
+  for (int i = 0; i < 18; ++i)
+    if (i != 11) cfg.feedback_nodes.push_back(i);  // 11 pre-excluded
+  core::DimmerNetwork net(topo, field, cfg,
+                          std::make_unique<baselines::PidController>(), 0, 5);
+  net.set_node_failed(11, true);
+  auto sources = sources_excluding(18, 11);
+  for (int r = 0; r < 10; ++r) net.run_round(sources);
+  EXPECT_LE(net.commanded_n_tx(), 4);  // the crash is invisible and harmless
+}
+
+TEST(FaultInjection, RecoveredNodeResynchronizes) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  core::DimmerNetwork net(topo, field, core::ProtocolConfig{},
+                          std::make_unique<core::StaticController>(3), 0, 6);
+  auto sources = sources_excluding(18, -1);  // node 13 stays scheduled
+  net.set_node_failed(13, true);
+  for (int r = 0; r < 5; ++r) {
+    core::RoundStats down = net.run_round(sources);
+    EXPECT_LT(down.reliability, 1.0);  // its slots are silent
+  }
+  EXPECT_TRUE(net.node_failed(13));
+  net.set_node_failed(13, false);
+  core::RoundStats rs{};
+  for (int r = 0; r < 4; ++r) rs = net.run_round(sources);
+  // Back in sync: the node hears schedules, sources again, and its header
+  // reaches the coordinator.
+  EXPECT_TRUE(net.snapshot(0).fresh(13));
+  EXPECT_GT(rs.reliability, 0.99);
+}
+
+TEST(FaultInjection, CoordinatorCannotBeFailed) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  core::DimmerNetwork net(topo, field, core::ProtocolConfig{},
+                          std::make_unique<core::StaticController>(3), 0, 7);
+  EXPECT_THROW(net.set_node_failed(0, true), util::RequireError);
+  EXPECT_THROW(net.set_node_failed(99, true), util::RequireError);
+}
+
+TEST(FaultInjection, HalfTheNetworkCanDieAndTheRestStillFloods) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  core::DimmerNetwork net(topo, field, core::ProtocolConfig{},
+                          std::make_unique<core::StaticController>(4), 0, 8);
+  // Kill every second node (odd ids); even ids remain a connected chain.
+  std::vector<phy::NodeId> sources;
+  for (int i = 1; i < 18; ++i) {
+    if (i % 2 == 1)
+      net.set_node_failed(i, true);
+    else
+      sources.push_back(i);
+  }
+  util::RunningStats rel;
+  for (int r = 0; r < 20; ++r) rel.add(net.run_round(sources).reliability);
+  EXPECT_GT(rel.mean(), 0.9);  // sparser, but alive
+}
+
+}  // namespace
+}  // namespace dimmer

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/scenarios.hpp"
+#include "lwb/round.hpp"
+#include "phy/topology.hpp"
+
+namespace dimmer::lwb {
+namespace {
+
+std::vector<NodeState> uniform_states(int n, int n_tx = 3) {
+  return std::vector<NodeState>(static_cast<std::size_t>(n),
+                                NodeState{n_tx, true, 0});
+}
+
+std::vector<phy::NodeId> all_sources(int n) {
+  std::vector<phy::NodeId> s;
+  for (int i = 1; i < n; ++i) s.push_back(i);
+  return s;
+}
+
+TEST(RoundExecutor, ControlReceiversApplyNewParameter) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  RoundExecutor ex(topo, field, RoundConfig{});
+  auto states = uniform_states(18, 3);
+  util::Pcg32 rng(1);
+  RoundResult rr = ex.run_round(0, 0, 0, all_sources(18), /*next=*/5, states,
+                                rng);
+  for (int i = 0; i < 18; ++i) {
+    if (rr.got_control[i]) {
+      EXPECT_EQ(states[i].n_tx, 5) << "node " << i;
+      EXPECT_EQ(states[i].sync_age, 0);
+    }
+  }
+  // Clean network: everyone hears the schedule.
+  EXPECT_TRUE(rr.got_control[17]);
+}
+
+TEST(RoundExecutor, CoordinatorAlwaysHasTheSchedule) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  core::add_static_jamming(field, topo, 0.35);
+  RoundExecutor ex(topo, field, RoundConfig{});
+  auto states = uniform_states(18, 1);
+  util::Pcg32 rng(2);
+  RoundResult rr = ex.run_round(0, 0, 0, all_sources(18), 1, states, rng);
+  EXPECT_TRUE(rr.got_control[0]);
+  EXPECT_EQ(states[0].sync_age, 0);
+}
+
+TEST(RoundExecutor, MissedControlAgesSync) {
+  phy::Topology topo = phy::make_line_topology(3, 500.0);  // node 2 isolated
+  phy::InterferenceField field;
+  RoundExecutor ex(topo, field, RoundConfig{});
+  auto states = uniform_states(3, 3);
+  util::Pcg32 rng(3);
+  for (int r = 0; r < 4; ++r)
+    ex.run_round(r * sim::seconds(4), r, 0, {1, 2}, 3, states, rng);
+  EXPECT_EQ(states[2].sync_age, 4);
+}
+
+TEST(RoundExecutor, DesyncedSourceMakesSilentSlot) {
+  phy::Topology topo = phy::make_line_topology(3, 500.0);
+  phy::InterferenceField field;
+  RoundConfig cfg;
+  cfg.max_sync_age = 0;  // desynchronize immediately on a miss
+  RoundExecutor ex(topo, field, cfg);
+  auto states = uniform_states(3, 3);
+  util::Pcg32 rng(4);
+  ex.run_round(0, 0, 0, {2}, 3, states, rng);
+  RoundResult rr = ex.run_round(sim::seconds(4), 1, 0, {2}, 3, states, rng);
+  ASSERT_EQ(rr.data.size(), 1u);
+  EXPECT_FALSE(rr.data[0].source_synced);
+}
+
+TEST(RoundExecutor, SingleChannelWithoutHopSequence) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  RoundConfig cfg;  // empty hop_sequence
+  RoundExecutor ex(topo, field, cfg);
+  for (std::uint64_t round = 0; round < 5; ++round)
+    for (std::size_t slot = 0; slot < 4; ++slot)
+      EXPECT_EQ(ex.data_channel(round, slot), cfg.control_channel);
+}
+
+TEST(RoundExecutor, HoppingWalksTheSequence) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  RoundConfig cfg;
+  cfg.hop_sequence = {15, 20, 25};
+  RoundExecutor ex(topo, field, cfg);
+  EXPECT_EQ(ex.data_channel(0, 0), 15);
+  EXPECT_EQ(ex.data_channel(0, 1), 20);
+  EXPECT_EQ(ex.data_channel(0, 2), 25);
+  EXPECT_EQ(ex.data_channel(1, 0), 20);  // round index rotates the start
+}
+
+TEST(RoundExecutor, RoundDurationAccounting) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  RoundConfig cfg;
+  RoundExecutor ex(topo, field, cfg);
+  // control + 18 data slots + 18 gaps
+  EXPECT_EQ(ex.round_duration(18),
+            19 * cfg.slot_len_us + 18 * cfg.slot_gap_us);
+}
+
+TEST(RoundExecutor, EnergyIsAccountedForEveryAwakeSlot) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  RoundExecutor ex(topo, field, RoundConfig{});
+  auto states = uniform_states(18, 3);
+  util::Pcg32 rng(5);
+  RoundResult rr = ex.run_round(0, 0, 0, all_sources(18), 3, states, rng);
+  for (int i = 0; i < 18; ++i) {
+    EXPECT_EQ(rr.awake_slots[i], 18);  // 1 control + 17 data slots
+    EXPECT_GT(rr.radio_on_us[i], 0);
+  }
+}
+
+TEST(RoundExecutor, PassiveRolesDoNotRelayData) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  RoundExecutor ex(topo, field, RoundConfig{});
+  auto states = uniform_states(18, 3);
+  for (int i = 1; i < 18; i += 2) states[i].forwarder = false;
+  util::Pcg32 rng(6);
+  RoundResult rr = ex.run_round(0, 0, 0, all_sources(18), 3, states, rng);
+  for (const auto& slot : rr.data) {
+    for (int i = 1; i < 18; i += 2) {
+      if (i == slot.source) continue;  // sources always transmit
+      EXPECT_EQ(slot.flood.nodes[i].transmissions, 0)
+          << "passive node " << i << " relayed";
+    }
+  }
+}
+
+TEST(RoundExecutor, RejectsBadInput) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  RoundExecutor ex(topo, field, RoundConfig{});
+  auto states = uniform_states(18, 3);
+  util::Pcg32 rng(7);
+  EXPECT_THROW(ex.run_round(0, 0, 99, {1}, 3, states, rng),
+               util::RequireError);
+  EXPECT_THROW(ex.run_round(0, 0, 0, {99}, 3, states, rng),
+               util::RequireError);
+  auto small = uniform_states(5, 3);
+  EXPECT_THROW(ex.run_round(0, 0, 0, {1}, 3, small, rng),
+               util::RequireError);
+}
+
+TEST(RoundExecutor, HeavyJamOnControlChannelDesynchronizesNodes) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  // Continuous high-power interference on the control channel.
+  phy::BurstJammer::Config cfg;
+  cfg.position = {25.0, 6.0};
+  cfg.tx_power_dbm = 20.0;
+  cfg.burst_us = sim::ms(100);
+  cfg.period_us = sim::ms(100);  // always on
+  cfg.channels = {phy::kControlChannel};
+  field.add(std::make_unique<phy::BurstJammer>(cfg));
+
+  RoundExecutor ex(topo, field, RoundConfig{});
+  auto states = uniform_states(18, 3);
+  util::Pcg32 rng(8);
+  for (int r = 0; r < 6; ++r)
+    ex.run_round(r * sim::seconds(4), r, 0, all_sources(18), 3, states, rng);
+  int desynced = 0;
+  for (int i = 1; i < 18; ++i)
+    if (states[i].sync_age > RoundConfig{}.max_sync_age) ++desynced;
+  EXPECT_GT(desynced, 8);  // most of the network lost the schedule
+}
+
+}  // namespace
+}  // namespace dimmer::lwb

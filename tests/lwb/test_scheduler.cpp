@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "lwb/scheduler.hpp"
+#include "util/check.hpp"
+
+namespace dimmer::lwb {
+namespace {
+
+TEST(Scheduler, StreamsBecomeDueAfterTheirIpi) {
+  Scheduler s;
+  s.add_stream(3, sim::seconds(4), /*now=*/0);
+  EXPECT_TRUE(s.schedule_round(sim::seconds(2), 8).empty());
+  auto slots = s.schedule_round(sim::seconds(4), 8);
+  ASSERT_EQ(slots.size(), 1u);
+  EXPECT_EQ(slots[0], 3);
+}
+
+TEST(Scheduler, DeadlineAdvancesAfterAllocation) {
+  Scheduler s;
+  s.add_stream(1, sim::seconds(4), 0);
+  EXPECT_EQ(s.schedule_round(sim::seconds(4), 8).size(), 1u);
+  EXPECT_TRUE(s.schedule_round(sim::seconds(5), 8).empty());
+  EXPECT_EQ(s.schedule_round(sim::seconds(8), 8).size(), 1u);
+}
+
+TEST(Scheduler, EarliestDeadlineFirstUnderBudget) {
+  Scheduler s;
+  s.add_stream(1, sim::seconds(10), 0);  // due at 10
+  s.add_stream(2, sim::seconds(4), 0);   // due at 4
+  s.add_stream(3, sim::seconds(7), 0);   // due at 7
+  auto slots = s.schedule_round(sim::seconds(10), 2);
+  ASSERT_EQ(slots.size(), 2u);
+  EXPECT_EQ(slots[0], 2);
+  EXPECT_EQ(slots[1], 3);  // node 1 carried over
+  // Second allocation at the same time: stream 2 is already due again
+  // (deadline 8 < 10) and still precedes the carried-over stream 1.
+  auto next = s.schedule_round(sim::seconds(10), 2);
+  ASSERT_EQ(next.size(), 2u);
+  EXPECT_EQ(next[0], 2);
+  EXPECT_EQ(next[1], 1);
+}
+
+TEST(Scheduler, BacklogAccumulatesMissedIntervals) {
+  Scheduler s;
+  s.add_stream(5, sim::seconds(1), 0);
+  // Nothing scheduled for 4 seconds: 4 intervals owed, drained one per call.
+  auto r1 = s.schedule_round(sim::seconds(4), 8);
+  EXPECT_EQ(r1.size(), 1u);
+  auto r2 = s.schedule_round(sim::seconds(4), 8);
+  EXPECT_EQ(r2.size(), 1u);  // still behind
+  s.schedule_round(sim::seconds(4), 8);
+  s.schedule_round(sim::seconds(4), 8);
+  EXPECT_TRUE(s.schedule_round(sim::seconds(4), 8).empty());  // caught up
+}
+
+TEST(Scheduler, MultipleStreamsPerSource) {
+  Scheduler s;
+  s.add_stream(2, sim::seconds(4), 0);
+  s.add_stream(2, sim::seconds(4), 0);
+  auto slots = s.schedule_round(sim::seconds(4), 8);
+  EXPECT_EQ(slots.size(), 2u);
+}
+
+TEST(Scheduler, RemoveStopsAllocation) {
+  Scheduler s;
+  auto id = s.add_stream(1, sim::seconds(1), 0);
+  s.add_stream(2, sim::seconds(1), 0);
+  s.remove_stream(id);
+  EXPECT_EQ(s.stream_count(), 1u);
+  auto slots = s.schedule_round(sim::seconds(2), 8);
+  ASSERT_EQ(slots.size(), 1u);
+  EXPECT_EQ(slots[0], 2);
+  EXPECT_THROW(s.remove_stream(id), util::RequireError);  // double remove
+  EXPECT_THROW(s.stream(id), util::RequireError);
+}
+
+TEST(Scheduler, NextDeadlineTracksEarliestStream) {
+  Scheduler s;
+  EXPECT_EQ(s.next_deadline(), -1);
+  s.add_stream(1, sim::seconds(10), 0);
+  s.add_stream(2, sim::seconds(3), 0);
+  EXPECT_EQ(s.next_deadline(), sim::seconds(3));
+  s.schedule_round(sim::seconds(3), 8);
+  EXPECT_EQ(s.next_deadline(), sim::seconds(6));
+}
+
+TEST(Scheduler, RejectsBadArguments) {
+  Scheduler s;
+  EXPECT_THROW(s.add_stream(-1, sim::seconds(1), 0), util::RequireError);
+  EXPECT_THROW(s.add_stream(1, 0, 0), util::RequireError);
+  EXPECT_THROW(s.schedule_round(0, 0), util::RequireError);
+  EXPECT_THROW(s.remove_stream(42), util::RequireError);
+}
+
+}  // namespace
+}  // namespace dimmer::lwb

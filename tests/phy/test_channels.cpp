@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "phy/channels.hpp"
+#include "util/check.hpp"
+
+namespace dimmer::phy {
+namespace {
+
+TEST(Channels, FrequenciesMatchStandard) {
+  EXPECT_DOUBLE_EQ(channel_mhz(11), 2405.0);
+  EXPECT_DOUBLE_EQ(channel_mhz(26), 2480.0);
+  EXPECT_DOUBLE_EQ(wifi_channel_mhz(1), 2412.0);
+  EXPECT_DOUBLE_EQ(wifi_channel_mhz(6), 2437.0);
+  EXPECT_DOUBLE_EQ(wifi_channel_mhz(11), 2462.0);
+}
+
+TEST(Channels, ValidityRange) {
+  EXPECT_FALSE(is_valid_channel(10));
+  EXPECT_TRUE(is_valid_channel(11));
+  EXPECT_TRUE(is_valid_channel(26));
+  EXPECT_FALSE(is_valid_channel(27));
+}
+
+TEST(Channels, Wifi1CoversLowBand) {
+  auto covered = channels_under_wifi(1);
+  // 2412 +/- 11 MHz -> 2401..2423 -> channels 11..14 (2405..2420).
+  EXPECT_EQ(covered, (std::vector<Channel>{11, 12, 13, 14}));
+}
+
+TEST(Channels, Channel26EscapesWifi1To11) {
+  for (int w = 1; w <= 11; ++w) {
+    auto covered = channels_under_wifi(w);
+    EXPECT_EQ(std::count(covered.begin(), covered.end(), 26), 0)
+        << "WiFi channel " << w;
+  }
+}
+
+TEST(Channels, Wifi13ReachesChannel26) {
+  auto covered = channels_under_wifi(13);
+  EXPECT_NE(std::find(covered.begin(), covered.end(), 26), covered.end());
+}
+
+TEST(Channels, InvalidWifiChannelThrows) {
+  EXPECT_THROW(channels_under_wifi(0), util::RequireError);
+  EXPECT_THROW(channels_under_wifi(14), util::RequireError);
+}
+
+TEST(Channels, DefaultHoppingSequenceIsValid) {
+  for (Channel c : default_hopping_sequence()) EXPECT_TRUE(is_valid_channel(c));
+  // The paper's control channel is part of the rotation.
+  const auto& seq = default_hopping_sequence();
+  EXPECT_NE(std::find(seq.begin(), seq.end(), kControlChannel), seq.end());
+}
+
+}  // namespace
+}  // namespace dimmer::phy

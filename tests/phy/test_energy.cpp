@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "phy/energy.hpp"
+
+namespace dimmer::phy {
+namespace {
+
+TEST(EnergyModel, RxEnergyMatchesDatasheetArithmetic) {
+  EnergyModel m;
+  // 19.7 mA * 3 V = 59.1 mW; 20 ms of listening = 1.182 mJ.
+  EXPECT_NEAR(m.radio_energy_mj(sim::ms(20)), 1.182, 1e-9);
+}
+
+TEST(EnergyModel, SplitRxTxAccounting) {
+  EnergyModel m;
+  double split = m.radio_energy_mj(sim::ms(10), sim::ms(10));
+  double all_rx = m.radio_energy_mj(sim::ms(20));
+  EXPECT_LT(split, all_rx);  // TX draws slightly less on the CC2420
+  EXPECT_NEAR(split, (19.7 + 17.4) * 0.01 * 3.0, 1e-9);
+}
+
+TEST(EnergyModel, SleepIsOrdersOfMagnitudeCheaper) {
+  EnergyModel m;
+  EXPECT_LT(m.sleep_energy_mj(sim::seconds(1)) * 1000,
+            m.radio_energy_mj(sim::seconds(1)));
+}
+
+TEST(EnergyModel, AveragePowerInterpolatesDuty) {
+  EnergyModel m;
+  EXPECT_NEAR(m.average_power_mw(1.0), 19.7 * 3.0, 1e-9);
+  EXPECT_NEAR(m.average_power_mw(0.0), 1.0e-3 * 3.0, 1e-9);
+  EXPECT_GT(m.average_power_mw(0.5), m.average_power_mw(0.1));
+}
+
+TEST(EnergyModel, ZeroTimeZeroEnergy) {
+  EnergyModel m;
+  EXPECT_DOUBLE_EQ(m.radio_energy_mj(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.radio_energy_mj(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.sleep_energy_mj(0), 0.0);
+}
+
+}  // namespace
+}  // namespace dimmer::phy

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "phy/interference.hpp"
+#include "phy/topology.hpp"
+#include "util/check.hpp"
+
+namespace dimmer::phy {
+namespace {
+
+BurstJammer::Config basic_jammer() {
+  BurstJammer::Config cfg;
+  cfg.burst_us = sim::ms(13);
+  cfg.period_us = sim::ms(130);
+  cfg.channels = {26};
+  return cfg;
+}
+
+TEST(BurstJammer, ExactOverlapInsideBurst) {
+  BurstJammer j(basic_jammer());
+  // Burst occupies [0, 13 ms); a window fully inside reads activity 1.
+  EXPECT_DOUBLE_EQ(j.activity(sim::ms(2), sim::ms(5), 26), 1.0);
+  // A window fully in the gap reads 0.
+  EXPECT_DOUBLE_EQ(j.activity(sim::ms(20), sim::ms(40), 26), 0.0);
+}
+
+TEST(BurstJammer, PartialOverlapFraction) {
+  BurstJammer j(basic_jammer());
+  // [10 ms, 20 ms): 3 ms of the 13 ms burst overlap -> 0.3.
+  EXPECT_NEAR(j.activity(sim::ms(10), sim::ms(20), 26), 0.3, 1e-9);
+}
+
+TEST(BurstJammer, MultiPeriodWindowAveragesDuty) {
+  BurstJammer j(basic_jammer());
+  // Over exactly 10 periods the activity equals the duty 13/130.
+  EXPECT_NEAR(j.activity(0, sim::ms(1300), 26), 0.1, 1e-9);
+}
+
+TEST(BurstJammer, WrongChannelIsSilent) {
+  BurstJammer j(basic_jammer());
+  EXPECT_DOUBLE_EQ(j.activity(0, sim::ms(5), 15), 0.0);
+}
+
+TEST(BurstJammer, PhaseShiftsBursts) {
+  auto cfg = basic_jammer();
+  cfg.phase_us = sim::ms(50);
+  BurstJammer j(cfg);
+  EXPECT_DOUBLE_EQ(j.activity(sim::ms(2), sim::ms(5), 26), 0.0);
+  EXPECT_DOUBLE_EQ(j.activity(sim::ms(51), sim::ms(55), 26), 1.0);
+}
+
+TEST(BurstJammer, ScenarioWindowGates) {
+  auto cfg = basic_jammer();
+  cfg.start_us = sim::seconds(10);
+  cfg.stop_us = sim::seconds(20);
+  BurstJammer j(cfg);
+  EXPECT_DOUBLE_EQ(j.activity(sim::seconds(5), sim::seconds(5) + sim::ms(5), 26),
+                   0.0);
+  EXPECT_GT(j.activity(sim::seconds(10), sim::seconds(11), 26), 0.05);
+  EXPECT_DOUBLE_EQ(
+      j.activity(sim::seconds(25), sim::seconds(25) + sim::ms(5), 26), 0.0);
+}
+
+TEST(BurstJammer, JamlabFactoryMatchesPaperParameterisation) {
+  // "a 10% interference corresponds to a 13 ms burst every 130 ms".
+  auto cfg = BurstJammer::jamlab({0, 0}, 0.10);
+  EXPECT_EQ(cfg.burst_us, sim::ms(13));
+  EXPECT_EQ(cfg.period_us, sim::ms(130));
+  // "a 35% interference ratio represents a 13 ms burst every 37 ms".
+  auto cfg35 = BurstJammer::jamlab({0, 0}, 0.35);
+  EXPECT_NEAR(static_cast<double>(cfg35.period_us), 37142.0, 10.0);
+}
+
+TEST(BurstJammer, RejectsBadConfig) {
+  auto cfg = basic_jammer();
+  cfg.period_us = sim::ms(5);  // shorter than the burst
+  EXPECT_THROW(BurstJammer{cfg}, util::RequireError);
+  EXPECT_THROW(BurstJammer::jamlab({0, 0}, 0.0), util::RequireError);
+  EXPECT_THROW(BurstJammer::jamlab({0, 0}, 1.2), util::RequireError);
+}
+
+TEST(WifiInterferer, PureAndDeterministic) {
+  WifiInterferer::Config cfg;
+  cfg.duty = 0.4;
+  cfg.seed = 9;
+  WifiInterferer w(cfg);
+  double a1 = w.activity(sim::ms(100), sim::ms(120), 25);
+  double a2 = w.activity(sim::ms(100), sim::ms(120), 25);
+  EXPECT_DOUBLE_EQ(a1, a2);
+}
+
+TEST(WifiInterferer, LongRunDutyApproximatesConfig) {
+  WifiInterferer::Config cfg;
+  cfg.duty = 0.4;
+  cfg.wifi_channel = 13;
+  WifiInterferer w(cfg);
+  double acc = w.activity(0, sim::seconds(60), 26);
+  EXPECT_NEAR(acc, 0.4, 0.05);
+}
+
+TEST(WifiInterferer, OnlyCoversOwnStripe) {
+  WifiInterferer::Config cfg;
+  cfg.wifi_channel = 1;  // covers 11..14
+  WifiInterferer w(cfg);
+  EXPECT_GT(w.activity(0, sim::seconds(10), 12), 0.0);
+  EXPECT_DOUBLE_EQ(w.activity(0, sim::seconds(10), 26), 0.0);
+}
+
+TEST(AmbientInterferer, DayBusierThanNight) {
+  AmbientInterferer::Config cfg;
+  cfg.seed = 4;
+  AmbientInterferer a(cfg);
+  // 12:00 vs 02:00.
+  double day = a.activity(sim::hours(12), sim::hours(12) + sim::minutes(30), 20);
+  double night = a.activity(sim::hours(2), sim::hours(2) + sim::minutes(30), 20);
+  EXPECT_GT(day, night);
+  EXPECT_NEAR(day, cfg.day_duty, 0.04);
+}
+
+TEST(InterferenceField, EmptyFieldIsSilent) {
+  Topology t = make_office18_topology();
+  InterferenceField f;
+  auto s = f.sample(0, sim::ms(1), 26, 0, t);
+  EXPECT_DOUBLE_EQ(s.power_mw, 0.0);
+  EXPECT_DOUBLE_EQ(s.exposure, 0.0);
+}
+
+TEST(InterferenceField, AccumulatesSources) {
+  Topology t = make_office18_topology();
+  InterferenceField f;
+  auto cfg = basic_jammer();
+  cfg.position = t.position(5);
+  f.add(std::make_unique<BurstJammer>(cfg));
+  auto one = f.sample(0, sim::ms(5), 26, 5, t);
+  EXPECT_GT(one.power_mw, 0.0);
+  EXPECT_DOUBLE_EQ(one.exposure, 1.0);
+
+  cfg.tag = 2;
+  f.add(std::make_unique<BurstJammer>(cfg));
+  auto two = f.sample(0, sim::ms(5), 26, 5, t);
+  EXPECT_GT(two.power_mw, one.power_mw);
+}
+
+TEST(InterferenceField, NearerNodesSeeMorePower) {
+  Topology t = make_line_topology(4, 15.0, /*seed=*/3);
+  InterferenceField f;
+  auto cfg = basic_jammer();
+  cfg.position = t.position(0);
+  f.add(std::make_unique<BurstJammer>(cfg));
+  auto near = f.sample(0, sim::ms(5), 26, 0, t);
+  auto far = f.sample(0, sim::ms(5), 26, 3, t);
+  EXPECT_GT(near.power_mw, far.power_mw);
+}
+
+TEST(InterferenceField, RejectsNullSource) {
+  InterferenceField f;
+  EXPECT_THROW(f.add(nullptr), util::RequireError);
+}
+
+TEST(DCubeProfiles, LevelTwoIsHarsher) {
+  Topology t = make_dcube48_topology();
+  InterferenceField l1, l2;
+  add_dcube_wifi_level(l1, t, 1);
+  add_dcube_wifi_level(l2, t, 2);
+  EXPECT_GT(l2.size(), l1.size());
+  // Aggregate exposure-weighted power over the band at a central node.
+  auto total = [&](const InterferenceField& f) {
+    double acc = 0.0;
+    for (Channel c = kFirstChannel; c <= kLastChannel; ++c) {
+      auto s = f.sample(0, sim::seconds(2), c, 20, t);
+      acc += s.power_mw * s.exposure;
+    }
+    return acc;
+  };
+  EXPECT_GT(total(l2), total(l1));
+}
+
+TEST(DCubeProfiles, InvalidLevelThrows) {
+  Topology t = make_dcube48_topology();
+  InterferenceField f;
+  EXPECT_THROW(add_dcube_wifi_level(f, t, 0), util::RequireError);
+  EXPECT_THROW(add_dcube_wifi_level(f, t, 3), util::RequireError);
+}
+
+}  // namespace
+}  // namespace dimmer::phy

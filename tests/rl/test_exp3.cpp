@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "rl/exp3.hpp"
+
+namespace dimmer::rl {
+namespace {
+
+TEST(Exp3, InitialDistributionIsUniform) {
+  Exp3 bandit(4, 0.2);
+  auto p = bandit.probabilities();
+  for (double v : p) EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(Exp3, ProbabilitiesSumToOne) {
+  Exp3 bandit(3, 0.1);
+  util::Pcg32 rng(1);
+  for (int t = 0; t < 500; ++t) {
+    bandit.update(bandit.sample(rng), rng.uniform());
+    auto p = bandit.probabilities();
+    EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-9);
+  }
+}
+
+TEST(Exp3, ExplorationFloorHolds) {
+  // Eq. 2: every arm keeps probability >= gamma / K.
+  Exp3 bandit(2, 0.12);
+  for (int t = 0; t < 300; ++t) bandit.update(0, 1.0);
+  auto p = bandit.probabilities();
+  EXPECT_GE(p[1], 0.12 / 2 - 1e-12);
+  EXPECT_GT(p[0], 0.9);
+}
+
+TEST(Exp3, RewardedArmGainsProbability) {
+  Exp3 bandit(2, 0.1);
+  double before = bandit.probability(1);
+  bandit.update(1, 1.0);
+  EXPECT_GT(bandit.probability(1), before);
+}
+
+TEST(Exp3, ZeroRewardLeavesWeightsUnchanged) {
+  Exp3 bandit(2, 0.1);
+  auto w = bandit.weights();
+  bandit.update(0, 0.0);
+  EXPECT_EQ(bandit.weights(), w);
+}
+
+TEST(Exp3, AdaptsToAdversarialSwitch) {
+  // Arm 0 pays for 200 steps, then arm 1 pays. Exp3 must follow.
+  Exp3 bandit(2, 0.15);
+  util::Pcg32 rng(2);
+  for (int t = 0; t < 200; ++t) {
+    std::size_t a = bandit.sample(rng);
+    bandit.update(a, a == 0 ? 1.0 : 0.0);
+  }
+  EXPECT_EQ(bandit.best_arm(), 0u);
+  for (int t = 0; t < 400; ++t) {
+    std::size_t a = bandit.sample(rng);
+    bandit.update(a, a == 1 ? 1.0 : 0.0);
+  }
+  EXPECT_EQ(bandit.best_arm(), 1u);
+}
+
+TEST(Exp3, ResetArmRestoresInitialWeight) {
+  Exp3 bandit(2, 0.1);
+  for (int i = 0; i < 50; ++i) bandit.update(1, 1.0);
+  EXPECT_GT(bandit.weights()[1], bandit.weights()[0]);
+  bandit.reset_arm(1);
+  EXPECT_DOUBLE_EQ(bandit.weights()[1], 1.0);
+}
+
+TEST(Exp3, SurvivesVeryLongRuns) {
+  // Exponential weights overflow without renormalisation; 50k wins must not
+  // produce inf/NaN probabilities.
+  Exp3 bandit(2, 0.3);
+  for (int i = 0; i < 50000; ++i) bandit.update(0, 1.0);
+  auto p = bandit.probabilities();
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_TRUE(std::isfinite(p[1]));
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
+}
+
+TEST(Exp3, SampleFollowsDistribution) {
+  Exp3 bandit(2, 0.2);
+  for (int i = 0; i < 30; ++i) bandit.update(0, 1.0);
+  util::Pcg32 rng(3);
+  int arm0 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) arm0 += bandit.sample(rng) == 0;
+  EXPECT_NEAR(static_cast<double>(arm0) / n, bandit.probability(0), 0.02);
+}
+
+TEST(Exp3, RejectsBadArguments) {
+  EXPECT_THROW(Exp3(1, 0.1), util::RequireError);
+  EXPECT_THROW(Exp3(2, 0.0), util::RequireError);
+  EXPECT_THROW(Exp3(2, 1.5), util::RequireError);
+  Exp3 bandit(2, 0.1);
+  EXPECT_THROW(bandit.update(2, 0.5), util::RequireError);
+  EXPECT_THROW(bandit.update(0, 1.5), util::RequireError);
+  EXPECT_THROW(bandit.update(0, -0.1), util::RequireError);
+  EXPECT_THROW(bandit.reset_arm(5), util::RequireError);
+}
+
+// Property: with K arms and gamma g, the floor g/K holds for every arm after
+// arbitrary one-sided reward streams.
+class Exp3FloorProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(Exp3FloorProperty, FloorAfterOneSidedRewards) {
+  auto [arms, gamma] = GetParam();
+  Exp3 bandit(static_cast<std::size_t>(arms), gamma);
+  for (int i = 0; i < 500; ++i) bandit.update(0, 1.0);
+  auto p = bandit.probabilities();
+  for (double v : p) EXPECT_GE(v, gamma / arms - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArmsAndGamma, Exp3FloorProperty,
+    ::testing::Combine(::testing::Values(2, 3, 8),
+                       ::testing::Values(0.05, 0.12, 0.5)));
+
+}  // namespace
+}  // namespace dimmer::rl

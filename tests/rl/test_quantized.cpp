@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rl/quantized.hpp"
+
+namespace dimmer::rl {
+namespace {
+
+TEST(QuantizedMlp, PaperFootprint) {
+  // The paper's 31 -> 30 -> 3 network: "our DQN uses 2.1 kB to store
+  // weights in flash, and 400 B of RAM for intermediary results".
+  Mlp net({31, 30, 3}, 1);
+  QuantizedMlp q(net);
+  EXPECT_EQ(q.flash_bytes(), 2u * (31 * 30 + 30 + 30 * 3 + 3));  // 2106 B
+  EXPECT_LE(q.flash_bytes(), 2200u);
+  EXPECT_LE(q.ram_bytes(), 400u);
+}
+
+TEST(QuantizedMlp, MatchesFloatWithinQuantizationError) {
+  Mlp net({10, 12, 3}, 2);
+  QuantizedMlp q(net);
+  util::Pcg32 rng(3);
+  double max_err = 0.0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> x(10);
+    for (double& v : x) v = rng.uniform(-1.0, 1.0);
+    auto yf = net.forward(x);
+    auto yq = q.forward(x);
+    for (std::size_t i = 0; i < yf.size(); ++i)
+      max_err = std::max(max_err, std::abs(yf[i] - yq[i]));
+  }
+  // Per-weight error 0.005, per-input error 0.005: accumulated error stays
+  // within a few centi-units for unit-scale nets.
+  EXPECT_LT(max_err, 0.25);
+}
+
+TEST(QuantizedMlp, GreedyAgreesOnWellSeparatedOutputs) {
+  Mlp net({4, 6, 3}, 4);
+  QuantizedMlp q(net);
+  util::Pcg32 rng(5);
+  int checked = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> x(4);
+    for (double& v : x) v = rng.uniform(-1.0, 1.0);
+    auto yf = net.forward(x);
+    std::vector<double> sorted = yf;
+    std::sort(sorted.begin(), sorted.end());
+    double gap = sorted[2] - sorted[1];
+    if (gap < 0.3) continue;  // ambiguous under quantization
+    int fa = static_cast<int>(
+        std::max_element(yf.begin(), yf.end()) - yf.begin());
+    EXPECT_EQ(q.greedy_action(x), fa);
+    ++checked;
+  }
+  EXPECT_GT(checked, 50);
+}
+
+TEST(QuantizedMlp, IntegerReluClipsNegatives) {
+  Mlp net({1, 1, 1}, 1);
+  auto& layers = net.mutable_layers();
+  layers[0].w = {1.0};
+  layers[0].b = {0.0};
+  layers[1].w = {1.0};
+  layers[1].b = {0.0};
+  QuantizedMlp q(net);
+  EXPECT_EQ(q.forward_fixed({-0.9})[0], 0);  // ReLU floor in integer path
+  EXPECT_EQ(q.forward_fixed({0.5})[0], 50);  // 0.5 at scale 100
+}
+
+TEST(QuantizedMlp, SaturatesExtremeWeights) {
+  Mlp net({1, 1}, 1);
+  net.mutable_layers()[0].w = {1e6};  // saturates at int16 max = 327.67
+  net.mutable_layers()[0].b = {0.0};
+  QuantizedMlp q(net);
+  EXPECT_EQ(q.layers()[0].w[0], 32767);
+  // 327.67 * 1.0 (scale 100: 32767 * 100 / 100) = 32767.
+  EXPECT_EQ(q.forward_fixed({1.0})[0], 32767);
+}
+
+TEST(QuantizedMlp, RejectsWrongInputSize) {
+  Mlp net({4, 3}, 1);
+  QuantizedMlp q(net);
+  EXPECT_THROW(q.forward_fixed({1.0}), util::RequireError);
+}
+
+TEST(QuantizedMlp, CustomScaleImprovesPrecision) {
+  Mlp net({6, 8, 2}, 6);
+  QuantizedMlp coarse(net, 100);
+  QuantizedMlp fine(net, 1000);
+  util::Pcg32 rng(7);
+  double coarse_err = 0.0, fine_err = 0.0;
+  for (int t = 0; t < 100; ++t) {
+    std::vector<double> x(6);
+    for (double& v : x) v = rng.uniform(-1.0, 1.0);
+    auto yf = net.forward(x);
+    auto yc = coarse.forward(x);
+    auto yn = fine.forward(x);
+    for (std::size_t i = 0; i < yf.size(); ++i) {
+      coarse_err += std::abs(yf[i] - yc[i]);
+      fine_err += std::abs(yf[i] - yn[i]);
+    }
+  }
+  EXPECT_LT(fine_err, coarse_err);
+}
+
+}  // namespace
+}  // namespace dimmer::rl

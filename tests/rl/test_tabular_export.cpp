@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "rl/export.hpp"
+#include "rl/tabular.hpp"
+#include "util/check.hpp"
+
+namespace dimmer::rl {
+namespace {
+
+TEST(TabularQ, GreedyFollowsUpdates) {
+  TabularQ q(4, 3, 0.5, 0.0);
+  q.update(2, 1, 1.0, 2, true);
+  EXPECT_EQ(q.greedy(2), 1u);
+  EXPECT_GT(q.q(2, 1), 0.0);
+  EXPECT_DOUBLE_EQ(q.q(2, 0), 0.0);
+}
+
+TEST(TabularQ, BootstrapsThroughGamma) {
+  TabularQ q(2, 2, 1.0, 0.5);
+  // State 1 has value 1 on action 0; state 0 reaches state 1 via action 1.
+  q.update(1, 0, 1.0, 1, true);
+  q.update(0, 1, 0.0, 1, false);
+  EXPECT_NEAR(q.q(0, 1), 0.5, 1e-12);
+}
+
+TEST(TabularQ, EpsilonGreedyExplores) {
+  TabularQ q(1, 4, 0.5, 0.0);
+  q.update(0, 2, 1.0, 0, true);
+  util::Pcg32 rng(1);
+  int non_greedy = 0;
+  for (int i = 0; i < 2000; ++i)
+    if (q.select(0, 0.5, rng) != 2) ++non_greedy;
+  EXPECT_GT(non_greedy, 500);
+  EXPECT_LT(non_greedy, 1100);
+}
+
+TEST(TabularQ, TracksUnvisitedStates) {
+  TabularQ q(10, 2, 0.5, 0.5);
+  EXPECT_EQ(q.unvisited_states(), 10u);
+  q.update(3, 0, 1.0, 4, false);
+  EXPECT_EQ(q.unvisited_states(), 9u);
+}
+
+TEST(TabularQ, RejectsBadArguments) {
+  EXPECT_THROW(TabularQ(0, 2, 0.5, 0.5), util::RequireError);
+  EXPECT_THROW(TabularQ(4, 1, 0.5, 0.5), util::RequireError);
+  EXPECT_THROW(TabularQ(4, 2, 0.0, 0.5), util::RequireError);
+  EXPECT_THROW(TabularQ(4, 2, 0.5, 1.0), util::RequireError);
+  TabularQ q(4, 2, 0.5, 0.5);
+  EXPECT_THROW(q.q(4, 0), util::RequireError);
+  EXPECT_THROW(q.update(0, 0, 1.0, 9, false), util::RequireError);
+}
+
+TEST(ExportC, HeaderContainsAllSections) {
+  Mlp net({31, 30, 3}, 5);
+  QuantizedMlp q(net);
+  std::string h = export_quantized_c_header(q, "dimmer_dqn");
+  EXPECT_NE(h.find("#ifndef DIMMER_DQN_H"), std::string::npos);
+  EXPECT_NE(h.find("#define DIMMER_DQN_SCALE 100"), std::string::npos);
+  EXPECT_NE(h.find("#define DIMMER_DQN_INPUTS 31"), std::string::npos);
+  EXPECT_NE(h.find("#define DIMMER_DQN_OUTPUTS 3"), std::string::npos);
+  EXPECT_NE(h.find("dimmer_dqn_l0_w[930]"), std::string::npos);
+  EXPECT_NE(h.find("dimmer_dqn_l0_b[30]"), std::string::npos);
+  EXPECT_NE(h.find("dimmer_dqn_l1_w[90]"), std::string::npos);
+  EXPECT_NE(h.find("dimmer_dqn_l1_b[3]"), std::string::npos);
+  EXPECT_NE(h.find("static int dimmer_dqn_infer(const int16_t *x)"),
+            std::string::npos);
+  EXPECT_NE(h.find("if (acc < 0) acc = 0;"), std::string::npos);  // ReLU
+}
+
+TEST(ExportC, WeightValuesRoundTrip) {
+  Mlp net({2, 2}, 1);
+  net.mutable_layers()[0].w = {1.23, -0.5, 0.0, 2.0};
+  net.mutable_layers()[0].b = {0.25, -1.0};
+  QuantizedMlp q(net);
+  std::string h = export_quantized_c_header(q, "tiny");
+  EXPECT_NE(h.find("123,-50,0,200"), std::string::npos);
+  EXPECT_NE(h.find("25,-100"), std::string::npos);
+}
+
+TEST(ExportC, RejectsInvalidPrefix) {
+  QuantizedMlp q(Mlp({2, 2}, 1));
+  EXPECT_THROW(export_quantized_c_header(q, "9bad"), util::RequireError);
+  EXPECT_THROW(export_quantized_c_header(q, "has-dash"), util::RequireError);
+  EXPECT_THROW(export_quantized_c_header(q, ""), util::RequireError);
+}
+
+TEST(ExportC, RejectsOversizedLayers) {
+  QuantizedMlp q(Mlp({80, 3}, 1));  // wider than the emitted 64-slot buffers
+  EXPECT_THROW(export_quantized_c_header(q, "big"), util::RequireError);
+}
+
+}  // namespace
+}  // namespace dimmer::rl

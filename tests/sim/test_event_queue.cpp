@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace dimmer::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule_at(ms(30), [&] { fired.push_back(3); });
+  q.schedule_at(ms(10), [&] { fired.push_back(1); });
+  q.schedule_at(ms(20), [&] { fired.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), ms(30));
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i)
+    q.schedule_at(ms(10), [&fired, i] { fired.push_back(i); });
+  q.run_all();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  TimeUs seen = -1;
+  q.schedule_at(ms(5), [&] {
+    q.schedule_in(ms(7), [&] { seen = q.now(); });
+  });
+  q.run_all();
+  EXPECT_EQ(seen, ms(12));
+}
+
+TEST(EventQueue, PastSchedulingThrows) {
+  EventQueue q;
+  q.schedule_at(ms(10), [] {});
+  q.run_all();
+  EXPECT_THROW(q.schedule_at(ms(5), [] {}), util::RequireError);
+  EXPECT_THROW(q.schedule_in(-1, [] {}), util::RequireError);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  auto id = q.schedule_at(ms(10), [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // already cancelled
+  q.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelAfterFiringReturnsFalse) {
+  EventQueue q;
+  auto id = q.schedule_at(ms(1), [] {});
+  q.run_all();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule_at(ms(10), [&] { fired.push_back(1); });
+  q.schedule_at(ms(20), [&] { fired.push_back(2); });
+  q.schedule_at(ms(30), [&] { fired.push_back(3); });
+  q.run_until(ms(20));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.now(), ms(20));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeEvenWithoutEvents) {
+  EventQueue q;
+  q.run_until(seconds(5));
+  EXPECT_EQ(q.now(), seconds(5));
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) q.schedule_in(ms(1), recurse);
+  };
+  q.schedule_at(0, recurse);
+  q.run_all();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(q.now(), ms(9));
+}
+
+TEST(TimeHelpers, Conversions) {
+  EXPECT_EQ(ms(1), 1000);
+  EXPECT_EQ(seconds(1), 1000000);
+  EXPECT_EQ(minutes(2), 120000000);
+  EXPECT_EQ(hours(1), 3600000000LL);
+  EXPECT_DOUBLE_EQ(to_ms(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_seconds(2500000), 2.5);
+}
+
+}  // namespace
+}  // namespace dimmer::sim

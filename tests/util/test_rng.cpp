@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace dimmer::util {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed) {
+  Pcg32 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Pcg32, DifferentSeedsDiverge) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u32() == b.next_u32()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, UniformInUnitInterval) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Pcg32, UniformRangeRespectsBounds) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Pcg32, UniformMeanIsCentered) {
+  Pcg32 rng(11);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Pcg32, UniformBelowCoversAllValues) {
+  Pcg32 rng(3);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Pcg32, UniformBelowZeroThrows) {
+  Pcg32 rng(3);
+  EXPECT_THROW(rng.uniform_below(0), RequireError);
+}
+
+TEST(Pcg32, UniformIntInclusiveBounds) {
+  Pcg32 rng(5);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    int v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Pcg32, UniformIntReversedBoundsThrows) {
+  Pcg32 rng(5);
+  EXPECT_THROW(rng.uniform_int(3, 2), RequireError);
+}
+
+TEST(Pcg32, BernoulliFrequencyMatchesP) {
+  Pcg32 rng(13);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Pcg32, NormalMomentsAreStandard) {
+  Pcg32 rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Pcg32, ShuffleIsAPermutation) {
+  Pcg32 rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Pcg32, ForkProducesIndependentStream) {
+  Pcg32 a(23);
+  Pcg32 child = a.fork(1);
+  Pcg32 b(23);
+  Pcg32 child2 = b.fork(1);
+  // Forks of identical parents with the same tag agree...
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(child.next_u32(), child2.next_u32());
+  // ...and differ from the parent stream.
+  Pcg32 c(23);
+  Pcg32 child3 = c.fork(2);
+  Pcg32 d(23);
+  Pcg32 child4 = d.fork(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (child3.next_u32() == child4.next_u32()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Hashing, SplitmixIsPure) {
+  EXPECT_EQ(splitmix64(123), splitmix64(123));
+  EXPECT_NE(splitmix64(123), splitmix64(124));
+}
+
+TEST(Hashing, MultiArgHashOrderSensitive) {
+  EXPECT_NE(hash_u64(1, 2), hash_u64(2, 1));
+  EXPECT_NE(hash_u64(1, 2, 3), hash_u64(3, 2, 1));
+}
+
+TEST(Hashing, PureUniformInUnitInterval) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    double u = pure_uniform(splitmix64(i));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace dimmer::util

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace dimmer::util {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation) {
+  RunningStats s;
+  std::vector<double> xs = {1.0, 2.5, -3.0, 7.25, 0.0, 4.5};
+  double sum = 0.0;
+  for (double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  double mean = sum / xs.size();
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= (xs.size() - 1);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.25);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    double x = std::sin(i * 0.7) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(3.0);
+  a.add(5.0);
+  double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(Ewma, FirstSampleSeeds) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.seeded());
+  e.add(10.0);
+  EXPECT_TRUE(e.seeded());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, ConvergesTowardConstantInput) {
+  Ewma e(0.2);
+  e.add(0.0);
+  for (int i = 0; i < 100; ++i) e.add(1.0);
+  EXPECT_NEAR(e.value(), 1.0, 1e-6);
+}
+
+TEST(Ewma, InvalidAlphaThrows) {
+  EXPECT_THROW(Ewma(0.0), RequireError);
+  EXPECT_THROW(Ewma(1.5), RequireError);
+}
+
+TEST(WindowMean, PartialWindow) {
+  WindowMean w(4);
+  w.add(2.0);
+  w.add(4.0);
+  EXPECT_EQ(w.count(), 2u);
+  EXPECT_FALSE(w.full());
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+}
+
+TEST(WindowMean, EvictsOldestWhenFull) {
+  WindowMean w(3);
+  for (double x : {1.0, 2.0, 3.0, 10.0}) w.add(x);
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);  // {2, 3, 10}
+  w.add(11.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 8.0);  // {3, 10, 11}
+}
+
+TEST(WindowMean, ResetClears) {
+  WindowMean w(2);
+  w.add(5.0);
+  w.reset();
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+TEST(WindowMean, ZeroCapacityThrows) {
+  EXPECT_THROW(WindowMean(0), RequireError);
+}
+
+TEST(Percentile, OrderStatistics) {
+  std::vector<double> v = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenSamples) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 75), 7.5);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50), RequireError);
+  EXPECT_THROW(percentile({1.0}, 101), RequireError);
+}
+
+}  // namespace
+}  // namespace dimmer::util
