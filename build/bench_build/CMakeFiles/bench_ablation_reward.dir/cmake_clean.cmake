@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_reward"
+  "../bench/bench_ablation_reward.pdb"
+  "CMakeFiles/bench_ablation_reward.dir/bench_ablation_reward.cpp.o"
+  "CMakeFiles/bench_ablation_reward.dir/bench_ablation_reward.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_tabular"
+  "../bench/bench_ablation_tabular.pdb"
+  "CMakeFiles/bench_ablation_tabular.dir/bench_ablation_tabular.cpp.o"
+  "CMakeFiles/bench_ablation_tabular.dir/bench_ablation_tabular.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tabular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

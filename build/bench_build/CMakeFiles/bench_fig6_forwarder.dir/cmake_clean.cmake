@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_forwarder"
+  "../bench/bench_fig6_forwarder.pdb"
+  "CMakeFiles/bench_fig6_forwarder.dir/bench_fig6_forwarder.cpp.o"
+  "CMakeFiles/bench_fig6_forwarder.dir/bench_fig6_forwarder.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_forwarder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

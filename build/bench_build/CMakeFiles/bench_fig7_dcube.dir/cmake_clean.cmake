@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_dcube"
+  "../bench/bench_fig7_dcube.pdb"
+  "CMakeFiles/bench_fig7_dcube.dir/bench_fig7_dcube.cpp.o"
+  "CMakeFiles/bench_fig7_dcube.dir/bench_fig7_dcube.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_dcube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

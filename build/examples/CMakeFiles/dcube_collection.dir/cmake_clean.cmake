@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcube_collection.dir/dcube_collection.cpp.o"
+  "CMakeFiles/dcube_collection.dir/dcube_collection.cpp.o.d"
+  "dcube_collection"
+  "dcube_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcube_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dynamic_interference.cpp" "examples/CMakeFiles/dynamic_interference.dir/dynamic_interference.cpp.o" "gcc" "examples/CMakeFiles/dynamic_interference.dir/dynamic_interference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dimmer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dimmer_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/lwb/CMakeFiles/dimmer_lwb.dir/DependInfo.cmake"
+  "/root/repo/build/src/flood/CMakeFiles/dimmer_flood.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/dimmer_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/dimmer_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dimmer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_interference.dir/dynamic_interference.cpp.o"
+  "CMakeFiles/dynamic_interference.dir/dynamic_interference.cpp.o.d"
+  "dynamic_interference"
+  "dynamic_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

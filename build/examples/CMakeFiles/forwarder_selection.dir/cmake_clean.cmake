@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forwarder_selection.dir/forwarder_selection.cpp.o"
+  "CMakeFiles/forwarder_selection.dir/forwarder_selection.cpp.o.d"
+  "forwarder_selection"
+  "forwarder_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forwarder_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

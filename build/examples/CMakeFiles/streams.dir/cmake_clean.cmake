@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streams.dir/streams.cpp.o"
+  "CMakeFiles/streams.dir/streams.cpp.o.d"
+  "streams"
+  "streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

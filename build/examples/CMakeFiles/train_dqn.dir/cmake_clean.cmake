@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_dqn.dir/train_dqn.cpp.o"
+  "CMakeFiles/train_dqn.dir/train_dqn.cpp.o.d"
+  "train_dqn"
+  "train_dqn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_dqn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

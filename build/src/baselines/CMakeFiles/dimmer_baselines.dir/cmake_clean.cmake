@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimmer_baselines.dir/crystal.cpp.o"
+  "CMakeFiles/dimmer_baselines.dir/crystal.cpp.o.d"
+  "CMakeFiles/dimmer_baselines.dir/pid.cpp.o"
+  "CMakeFiles/dimmer_baselines.dir/pid.cpp.o.d"
+  "libdimmer_baselines.a"
+  "libdimmer_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimmer_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

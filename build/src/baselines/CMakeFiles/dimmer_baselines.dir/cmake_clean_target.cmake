@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdimmer_baselines.a"
+)

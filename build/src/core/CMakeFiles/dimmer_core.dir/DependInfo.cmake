@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/collection.cpp" "src/core/CMakeFiles/dimmer_core.dir/collection.cpp.o" "gcc" "src/core/CMakeFiles/dimmer_core.dir/collection.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/dimmer_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/dimmer_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/dimmer_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/dimmer_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/feedback.cpp" "src/core/CMakeFiles/dimmer_core.dir/feedback.cpp.o" "gcc" "src/core/CMakeFiles/dimmer_core.dir/feedback.cpp.o.d"
+  "/root/repo/src/core/forwarder.cpp" "src/core/CMakeFiles/dimmer_core.dir/forwarder.cpp.o" "gcc" "src/core/CMakeFiles/dimmer_core.dir/forwarder.cpp.o.d"
+  "/root/repo/src/core/pretrained.cpp" "src/core/CMakeFiles/dimmer_core.dir/pretrained.cpp.o" "gcc" "src/core/CMakeFiles/dimmer_core.dir/pretrained.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/dimmer_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/dimmer_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/scenarios.cpp" "src/core/CMakeFiles/dimmer_core.dir/scenarios.cpp.o" "gcc" "src/core/CMakeFiles/dimmer_core.dir/scenarios.cpp.o.d"
+  "/root/repo/src/core/stats_collector.cpp" "src/core/CMakeFiles/dimmer_core.dir/stats_collector.cpp.o" "gcc" "src/core/CMakeFiles/dimmer_core.dir/stats_collector.cpp.o.d"
+  "/root/repo/src/core/trace_env.cpp" "src/core/CMakeFiles/dimmer_core.dir/trace_env.cpp.o" "gcc" "src/core/CMakeFiles/dimmer_core.dir/trace_env.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lwb/CMakeFiles/dimmer_lwb.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/dimmer_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/flood/CMakeFiles/dimmer_flood.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/dimmer_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dimmer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimmer_core.dir/collection.cpp.o"
+  "CMakeFiles/dimmer_core.dir/collection.cpp.o.d"
+  "CMakeFiles/dimmer_core.dir/controller.cpp.o"
+  "CMakeFiles/dimmer_core.dir/controller.cpp.o.d"
+  "CMakeFiles/dimmer_core.dir/features.cpp.o"
+  "CMakeFiles/dimmer_core.dir/features.cpp.o.d"
+  "CMakeFiles/dimmer_core.dir/feedback.cpp.o"
+  "CMakeFiles/dimmer_core.dir/feedback.cpp.o.d"
+  "CMakeFiles/dimmer_core.dir/forwarder.cpp.o"
+  "CMakeFiles/dimmer_core.dir/forwarder.cpp.o.d"
+  "CMakeFiles/dimmer_core.dir/pretrained.cpp.o"
+  "CMakeFiles/dimmer_core.dir/pretrained.cpp.o.d"
+  "CMakeFiles/dimmer_core.dir/protocol.cpp.o"
+  "CMakeFiles/dimmer_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/dimmer_core.dir/scenarios.cpp.o"
+  "CMakeFiles/dimmer_core.dir/scenarios.cpp.o.d"
+  "CMakeFiles/dimmer_core.dir/stats_collector.cpp.o"
+  "CMakeFiles/dimmer_core.dir/stats_collector.cpp.o.d"
+  "CMakeFiles/dimmer_core.dir/trace_env.cpp.o"
+  "CMakeFiles/dimmer_core.dir/trace_env.cpp.o.d"
+  "libdimmer_core.a"
+  "libdimmer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimmer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

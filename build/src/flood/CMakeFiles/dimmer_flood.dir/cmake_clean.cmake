@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimmer_flood.dir/glossy.cpp.o"
+  "CMakeFiles/dimmer_flood.dir/glossy.cpp.o.d"
+  "libdimmer_flood.a"
+  "libdimmer_flood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimmer_flood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

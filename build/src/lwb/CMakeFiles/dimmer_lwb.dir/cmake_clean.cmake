@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimmer_lwb.dir/round.cpp.o"
+  "CMakeFiles/dimmer_lwb.dir/round.cpp.o.d"
+  "CMakeFiles/dimmer_lwb.dir/scheduler.cpp.o"
+  "CMakeFiles/dimmer_lwb.dir/scheduler.cpp.o.d"
+  "libdimmer_lwb.a"
+  "libdimmer_lwb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimmer_lwb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/interference.cpp" "src/phy/CMakeFiles/dimmer_phy.dir/interference.cpp.o" "gcc" "src/phy/CMakeFiles/dimmer_phy.dir/interference.cpp.o.d"
+  "/root/repo/src/phy/per.cpp" "src/phy/CMakeFiles/dimmer_phy.dir/per.cpp.o" "gcc" "src/phy/CMakeFiles/dimmer_phy.dir/per.cpp.o.d"
+  "/root/repo/src/phy/topology.cpp" "src/phy/CMakeFiles/dimmer_phy.dir/topology.cpp.o" "gcc" "src/phy/CMakeFiles/dimmer_phy.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dimmer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimmer_phy.dir/interference.cpp.o"
+  "CMakeFiles/dimmer_phy.dir/interference.cpp.o.d"
+  "CMakeFiles/dimmer_phy.dir/per.cpp.o"
+  "CMakeFiles/dimmer_phy.dir/per.cpp.o.d"
+  "CMakeFiles/dimmer_phy.dir/topology.cpp.o"
+  "CMakeFiles/dimmer_phy.dir/topology.cpp.o.d"
+  "libdimmer_phy.a"
+  "libdimmer_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimmer_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/dqn.cpp" "src/rl/CMakeFiles/dimmer_rl.dir/dqn.cpp.o" "gcc" "src/rl/CMakeFiles/dimmer_rl.dir/dqn.cpp.o.d"
+  "/root/repo/src/rl/exp3.cpp" "src/rl/CMakeFiles/dimmer_rl.dir/exp3.cpp.o" "gcc" "src/rl/CMakeFiles/dimmer_rl.dir/exp3.cpp.o.d"
+  "/root/repo/src/rl/export.cpp" "src/rl/CMakeFiles/dimmer_rl.dir/export.cpp.o" "gcc" "src/rl/CMakeFiles/dimmer_rl.dir/export.cpp.o.d"
+  "/root/repo/src/rl/mlp.cpp" "src/rl/CMakeFiles/dimmer_rl.dir/mlp.cpp.o" "gcc" "src/rl/CMakeFiles/dimmer_rl.dir/mlp.cpp.o.d"
+  "/root/repo/src/rl/quantized.cpp" "src/rl/CMakeFiles/dimmer_rl.dir/quantized.cpp.o" "gcc" "src/rl/CMakeFiles/dimmer_rl.dir/quantized.cpp.o.d"
+  "/root/repo/src/rl/tabular.cpp" "src/rl/CMakeFiles/dimmer_rl.dir/tabular.cpp.o" "gcc" "src/rl/CMakeFiles/dimmer_rl.dir/tabular.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dimmer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

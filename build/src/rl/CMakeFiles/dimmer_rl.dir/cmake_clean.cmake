@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimmer_rl.dir/dqn.cpp.o"
+  "CMakeFiles/dimmer_rl.dir/dqn.cpp.o.d"
+  "CMakeFiles/dimmer_rl.dir/exp3.cpp.o"
+  "CMakeFiles/dimmer_rl.dir/exp3.cpp.o.d"
+  "CMakeFiles/dimmer_rl.dir/export.cpp.o"
+  "CMakeFiles/dimmer_rl.dir/export.cpp.o.d"
+  "CMakeFiles/dimmer_rl.dir/mlp.cpp.o"
+  "CMakeFiles/dimmer_rl.dir/mlp.cpp.o.d"
+  "CMakeFiles/dimmer_rl.dir/quantized.cpp.o"
+  "CMakeFiles/dimmer_rl.dir/quantized.cpp.o.d"
+  "CMakeFiles/dimmer_rl.dir/tabular.cpp.o"
+  "CMakeFiles/dimmer_rl.dir/tabular.cpp.o.d"
+  "libdimmer_rl.a"
+  "libdimmer_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimmer_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimmer_util.dir/cli.cpp.o"
+  "CMakeFiles/dimmer_util.dir/cli.cpp.o.d"
+  "CMakeFiles/dimmer_util.dir/log.cpp.o"
+  "CMakeFiles/dimmer_util.dir/log.cpp.o.d"
+  "CMakeFiles/dimmer_util.dir/table.cpp.o"
+  "CMakeFiles/dimmer_util.dir/table.cpp.o.d"
+  "libdimmer_util.a"
+  "libdimmer_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimmer_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimmer_test_baselines.dir/baselines/test_crystal.cpp.o"
+  "CMakeFiles/dimmer_test_baselines.dir/baselines/test_crystal.cpp.o.d"
+  "CMakeFiles/dimmer_test_baselines.dir/baselines/test_pid.cpp.o"
+  "CMakeFiles/dimmer_test_baselines.dir/baselines/test_pid.cpp.o.d"
+  "dimmer_test_baselines"
+  "dimmer_test_baselines.pdb"
+  "dimmer_test_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimmer_test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_controller.cpp" "tests/CMakeFiles/dimmer_test_core.dir/core/test_controller.cpp.o" "gcc" "tests/CMakeFiles/dimmer_test_core.dir/core/test_controller.cpp.o.d"
+  "/root/repo/tests/core/test_features.cpp" "tests/CMakeFiles/dimmer_test_core.dir/core/test_features.cpp.o" "gcc" "tests/CMakeFiles/dimmer_test_core.dir/core/test_features.cpp.o.d"
+  "/root/repo/tests/core/test_feedback_stats.cpp" "tests/CMakeFiles/dimmer_test_core.dir/core/test_feedback_stats.cpp.o" "gcc" "tests/CMakeFiles/dimmer_test_core.dir/core/test_feedback_stats.cpp.o.d"
+  "/root/repo/tests/core/test_forwarder.cpp" "tests/CMakeFiles/dimmer_test_core.dir/core/test_forwarder.cpp.o" "gcc" "tests/CMakeFiles/dimmer_test_core.dir/core/test_forwarder.cpp.o.d"
+  "/root/repo/tests/core/test_pretrained_tabular.cpp" "tests/CMakeFiles/dimmer_test_core.dir/core/test_pretrained_tabular.cpp.o" "gcc" "tests/CMakeFiles/dimmer_test_core.dir/core/test_pretrained_tabular.cpp.o.d"
+  "/root/repo/tests/core/test_protocol.cpp" "tests/CMakeFiles/dimmer_test_core.dir/core/test_protocol.cpp.o" "gcc" "tests/CMakeFiles/dimmer_test_core.dir/core/test_protocol.cpp.o.d"
+  "/root/repo/tests/core/test_scenarios_collection.cpp" "tests/CMakeFiles/dimmer_test_core.dir/core/test_scenarios_collection.cpp.o" "gcc" "tests/CMakeFiles/dimmer_test_core.dir/core/test_scenarios_collection.cpp.o.d"
+  "/root/repo/tests/core/test_trace_env.cpp" "tests/CMakeFiles/dimmer_test_core.dir/core/test_trace_env.cpp.o" "gcc" "tests/CMakeFiles/dimmer_test_core.dir/core/test_trace_env.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dimmer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dimmer_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/lwb/CMakeFiles/dimmer_lwb.dir/DependInfo.cmake"
+  "/root/repo/build/src/flood/CMakeFiles/dimmer_flood.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/dimmer_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/dimmer_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dimmer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

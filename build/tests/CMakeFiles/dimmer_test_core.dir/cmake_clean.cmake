@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimmer_test_core.dir/core/test_controller.cpp.o"
+  "CMakeFiles/dimmer_test_core.dir/core/test_controller.cpp.o.d"
+  "CMakeFiles/dimmer_test_core.dir/core/test_features.cpp.o"
+  "CMakeFiles/dimmer_test_core.dir/core/test_features.cpp.o.d"
+  "CMakeFiles/dimmer_test_core.dir/core/test_feedback_stats.cpp.o"
+  "CMakeFiles/dimmer_test_core.dir/core/test_feedback_stats.cpp.o.d"
+  "CMakeFiles/dimmer_test_core.dir/core/test_forwarder.cpp.o"
+  "CMakeFiles/dimmer_test_core.dir/core/test_forwarder.cpp.o.d"
+  "CMakeFiles/dimmer_test_core.dir/core/test_pretrained_tabular.cpp.o"
+  "CMakeFiles/dimmer_test_core.dir/core/test_pretrained_tabular.cpp.o.d"
+  "CMakeFiles/dimmer_test_core.dir/core/test_protocol.cpp.o"
+  "CMakeFiles/dimmer_test_core.dir/core/test_protocol.cpp.o.d"
+  "CMakeFiles/dimmer_test_core.dir/core/test_scenarios_collection.cpp.o"
+  "CMakeFiles/dimmer_test_core.dir/core/test_scenarios_collection.cpp.o.d"
+  "CMakeFiles/dimmer_test_core.dir/core/test_trace_env.cpp.o"
+  "CMakeFiles/dimmer_test_core.dir/core/test_trace_env.cpp.o.d"
+  "dimmer_test_core"
+  "dimmer_test_core.pdb"
+  "dimmer_test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimmer_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimmer_test_flood.dir/flood/test_glossy.cpp.o"
+  "CMakeFiles/dimmer_test_flood.dir/flood/test_glossy.cpp.o.d"
+  "CMakeFiles/dimmer_test_flood.dir/flood/test_latency.cpp.o"
+  "CMakeFiles/dimmer_test_flood.dir/flood/test_latency.cpp.o.d"
+  "dimmer_test_flood"
+  "dimmer_test_flood.pdb"
+  "dimmer_test_flood[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimmer_test_flood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

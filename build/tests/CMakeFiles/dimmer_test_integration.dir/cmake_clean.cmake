@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimmer_test_integration.dir/integration/test_end_to_end.cpp.o"
+  "CMakeFiles/dimmer_test_integration.dir/integration/test_end_to_end.cpp.o.d"
+  "CMakeFiles/dimmer_test_integration.dir/integration/test_fault_injection.cpp.o"
+  "CMakeFiles/dimmer_test_integration.dir/integration/test_fault_injection.cpp.o.d"
+  "dimmer_test_integration"
+  "dimmer_test_integration.pdb"
+  "dimmer_test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimmer_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

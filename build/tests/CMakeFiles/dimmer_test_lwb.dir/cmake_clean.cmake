@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimmer_test_lwb.dir/lwb/test_round.cpp.o"
+  "CMakeFiles/dimmer_test_lwb.dir/lwb/test_round.cpp.o.d"
+  "CMakeFiles/dimmer_test_lwb.dir/lwb/test_scheduler.cpp.o"
+  "CMakeFiles/dimmer_test_lwb.dir/lwb/test_scheduler.cpp.o.d"
+  "dimmer_test_lwb"
+  "dimmer_test_lwb.pdb"
+  "dimmer_test_lwb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimmer_test_lwb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

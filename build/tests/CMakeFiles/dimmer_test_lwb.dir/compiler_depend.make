@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dimmer_test_lwb.
+# This may be replaced when dependencies are built.

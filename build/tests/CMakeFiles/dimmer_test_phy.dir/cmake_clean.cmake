@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimmer_test_phy.dir/phy/test_channels.cpp.o"
+  "CMakeFiles/dimmer_test_phy.dir/phy/test_channels.cpp.o.d"
+  "CMakeFiles/dimmer_test_phy.dir/phy/test_energy.cpp.o"
+  "CMakeFiles/dimmer_test_phy.dir/phy/test_energy.cpp.o.d"
+  "CMakeFiles/dimmer_test_phy.dir/phy/test_interference.cpp.o"
+  "CMakeFiles/dimmer_test_phy.dir/phy/test_interference.cpp.o.d"
+  "CMakeFiles/dimmer_test_phy.dir/phy/test_per.cpp.o"
+  "CMakeFiles/dimmer_test_phy.dir/phy/test_per.cpp.o.d"
+  "CMakeFiles/dimmer_test_phy.dir/phy/test_topology.cpp.o"
+  "CMakeFiles/dimmer_test_phy.dir/phy/test_topology.cpp.o.d"
+  "dimmer_test_phy"
+  "dimmer_test_phy.pdb"
+  "dimmer_test_phy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimmer_test_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

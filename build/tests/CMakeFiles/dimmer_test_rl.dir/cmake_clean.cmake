@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimmer_test_rl.dir/rl/test_dqn.cpp.o"
+  "CMakeFiles/dimmer_test_rl.dir/rl/test_dqn.cpp.o.d"
+  "CMakeFiles/dimmer_test_rl.dir/rl/test_exp3.cpp.o"
+  "CMakeFiles/dimmer_test_rl.dir/rl/test_exp3.cpp.o.d"
+  "CMakeFiles/dimmer_test_rl.dir/rl/test_mlp.cpp.o"
+  "CMakeFiles/dimmer_test_rl.dir/rl/test_mlp.cpp.o.d"
+  "CMakeFiles/dimmer_test_rl.dir/rl/test_quantized.cpp.o"
+  "CMakeFiles/dimmer_test_rl.dir/rl/test_quantized.cpp.o.d"
+  "CMakeFiles/dimmer_test_rl.dir/rl/test_tabular_export.cpp.o"
+  "CMakeFiles/dimmer_test_rl.dir/rl/test_tabular_export.cpp.o.d"
+  "dimmer_test_rl"
+  "dimmer_test_rl.pdb"
+  "dimmer_test_rl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimmer_test_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

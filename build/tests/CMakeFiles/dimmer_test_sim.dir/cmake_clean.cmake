@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimmer_test_sim.dir/sim/test_event_queue.cpp.o"
+  "CMakeFiles/dimmer_test_sim.dir/sim/test_event_queue.cpp.o.d"
+  "dimmer_test_sim"
+  "dimmer_test_sim.pdb"
+  "dimmer_test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimmer_test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimmer_test_util.dir/util/test_fixed_point.cpp.o"
+  "CMakeFiles/dimmer_test_util.dir/util/test_fixed_point.cpp.o.d"
+  "CMakeFiles/dimmer_test_util.dir/util/test_rng.cpp.o"
+  "CMakeFiles/dimmer_test_util.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/dimmer_test_util.dir/util/test_stats.cpp.o"
+  "CMakeFiles/dimmer_test_util.dir/util/test_stats.cpp.o.d"
+  "CMakeFiles/dimmer_test_util.dir/util/test_table_cli.cpp.o"
+  "CMakeFiles/dimmer_test_util.dir/util/test_table_cli.cpp.o.d"
+  "dimmer_test_util"
+  "dimmer_test_util.pdb"
+  "dimmer_test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimmer_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dimmer_test_util[1]_include.cmake")
+include("/root/repo/build/tests/dimmer_test_sim[1]_include.cmake")
+include("/root/repo/build/tests/dimmer_test_phy[1]_include.cmake")
+include("/root/repo/build/tests/dimmer_test_flood[1]_include.cmake")
+include("/root/repo/build/tests/dimmer_test_lwb[1]_include.cmake")
+include("/root/repo/build/tests/dimmer_test_rl[1]_include.cmake")
+include("/root/repo/build/tests/dimmer_test_core[1]_include.cmake")
+include("/root/repo/build/tests/dimmer_test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/dimmer_test_integration[1]_include.cmake")
