@@ -8,11 +8,17 @@
 // generalization axis where function approximation is supposed to win.
 // The table also reports how much of the tabular state space was never
 // visited during training (the coverage problem).
+//
+// The two agents train as parallel trials on exp::Runner over a shared
+// read-only trace dataset (DQN training dominates the wall-clock).
+#include <chrono>
 #include <iostream>
 
 #include "bench/common.hpp"
 #include "core/scenarios.hpp"
 #include "core/trace_env.hpp"
+#include "exp/json.hpp"
+#include "exp/runner.hpp"
 #include "phy/topology.hpp"
 #include "rl/quantized.hpp"
 #include "util/table.hpp"
@@ -61,58 +67,103 @@ int main() {
   const auto steps = static_cast<std::size_t>(bench::scaled(120000));
   const int episodes = bench::scaled(60);
 
-  // --- Deep Q-network.
-  std::cerr << "[tabular] training DQN (" << steps << " steps)...\n";
-  core::TrainerConfig tr;
-  tr.total_steps = steps;
-  tr.dqn.epsilon_anneal_steps = steps / 2;
-  tr.dqn.lr_decay_steps = steps * 3 / 4;
-  tr.seed = 5;
-  rl::Mlp net = core::train_dqn_on_traces(train, env_cfg, tr);
-  rl::QuantizedMlp qnet(net);
-
-  // --- Tabular Q over a coarse discretization of the same features.
-  std::cerr << "[tabular] training tabular Q (" << steps << " steps)...\n";
-  core::TabularDiscretizer disc;
-  disc.features = env_cfg.features;
-  core::TabularTrainerConfig tt;
-  tt.total_steps = steps;
-  tt.seed = 5;
-  rl::TabularQ table = core::train_tabular_on_traces(train, env_cfg, disc, tt);
-
-  auto tabular_policy = [&](const std::vector<double>& x) {
-    return static_cast<int>(table.greedy(disc.state(x)));
+  struct Case {
+    const char* key;
+    const core::TraceDataset* ds;
   };
+  const Case cases[] = {{"seen", &eval_seen}, {"unseen", &eval_unseen}};
+
+  std::vector<exp::TrialSpec> specs(2);
+  specs[0].scenario = "dqn";
+  specs[0].seed = 5;
+  specs[1].scenario = "tabular";
+  specs[1].seed = 5;
+
+  auto evaluate_into = [&](exp::TrialResult& r, const Case& c,
+                           const core::PolicyEvaluation& ev) {
+    std::string p = std::string(c.key) + "_";
+    r.metrics[p + "reward"] = ev.avg_reward;
+    r.metrics[p + "reliability"] = ev.avg_reliability;
+    r.metrics[p + "radio_on_ms"] = ev.avg_radio_on_ms;
+    r.metrics[p + "n_tx"] = ev.avg_n_tx;
+  };
+
+  auto trial = [&](const exp::TrialSpec& spec, util::Pcg32&) {
+    exp::TrialResult r;
+    if (spec.scenario == "dqn") {
+      std::cerr << "[tabular] training DQN (" << steps << " steps)...\n";
+      core::TrainerConfig tr;
+      tr.total_steps = steps;
+      tr.dqn.epsilon_anneal_steps = steps / 2;
+      tr.dqn.lr_decay_steps = steps * 3 / 4;
+      tr.seed = spec.seed;
+      rl::Mlp net = core::train_dqn_on_traces(train, env_cfg, tr);
+      rl::QuantizedMlp qnet(net);
+      for (const Case& c : cases)
+        evaluate_into(r, c, core::evaluate_policy(*c.ds, qnet, env_cfg,
+                                                  episodes, 3));
+    } else {
+      std::cerr << "[tabular] training tabular Q (" << steps << " steps)...\n";
+      core::TabularDiscretizer disc;
+      disc.features = env_cfg.features;
+      core::TabularTrainerConfig tt;
+      tt.total_steps = steps;
+      tt.seed = spec.seed;
+      rl::TabularQ table =
+          core::train_tabular_on_traces(train, env_cfg, disc, tt);
+      auto policy = [&](const std::vector<double>& x) {
+        return static_cast<int>(table.greedy(disc.state(x)));
+      };
+      for (const Case& c : cases)
+        evaluate_into(r, c, core::evaluate_policy(*c.ds, policy, env_cfg,
+                                                  episodes, 3));
+      r.metrics["n_states"] = static_cast<double>(disc.n_states());
+      r.metrics["unvisited_states"] =
+          static_cast<double>(table.unvisited_states());
+    }
+    return r;
+  };
+
+  exp::Runner runner;
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<exp::Trial> trials = runner.run(std::move(specs), trial);
+  double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  bench::require_all_ok(trials);
+  const exp::TrialResult& dq = trials[0].result;
+  const exp::TrialResult& tb = trials[1].result;
 
   util::Table out({"agent", "dataset", "reward", "reliability",
                    "radio-on [ms]", "mean N_TX"});
-  struct Case {
-    const char* name;
-    const core::TraceDataset* ds;
+  struct Row {
+    const char* key;
+    const char* label;
   };
-  const Case cases[] = {{"seen (802.15.4)", &eval_seen},
-                        {"unseen (WiFi)", &eval_unseen}};
-  for (const Case& c : cases) {
-    core::PolicyEvaluation dq =
-        core::evaluate_policy(*c.ds, qnet, env_cfg, episodes, 3);
-    out.add_row({"DQN", c.name, util::Table::num(dq.avg_reward, 3),
-                 util::Table::pct(dq.avg_reliability, 2),
-                 util::Table::num(dq.avg_radio_on_ms),
-                 util::Table::num(dq.avg_n_tx, 1)});
-    core::PolicyEvaluation tb =
-        core::evaluate_policy(*c.ds, tabular_policy, env_cfg, episodes, 3);
-    out.add_row({"tabular Q", c.name, util::Table::num(tb.avg_reward, 3),
-                 util::Table::pct(tb.avg_reliability, 2),
-                 util::Table::num(tb.avg_radio_on_ms),
-                 util::Table::num(tb.avg_n_tx, 1)});
+  const Row rows[] = {{"seen", "seen (802.15.4)"}, {"unseen", "unseen (WiFi)"}};
+  for (const Row& row : rows) {
+    std::string p = std::string(row.key) + "_";
+    out.add_row({"DQN", row.label, util::Table::num(dq.metrics.at(p + "reward"), 3),
+                 util::Table::pct(dq.metrics.at(p + "reliability"), 2),
+                 util::Table::num(dq.metrics.at(p + "radio_on_ms")),
+                 util::Table::num(dq.metrics.at(p + "n_tx"), 1)});
+    out.add_row({"tabular Q", row.label,
+                 util::Table::num(tb.metrics.at(p + "reward"), 3),
+                 util::Table::pct(tb.metrics.at(p + "reliability"), 2),
+                 util::Table::num(tb.metrics.at(p + "radio_on_ms")),
+                 util::Table::num(tb.metrics.at(p + "n_tx"), 1)});
   }
 
   std::cout << "Tabular-vs-deep ablation (SIII-B)\n\n";
   out.print(std::cout);
-  std::cout << "\ntabular state space: " << disc.n_states() << " states, "
-            << table.unvisited_states() << " never visited during training\n"
+  std::cout << "\ntabular state space: "
+            << static_cast<long>(tb.metrics.at("n_states")) << " states, "
+            << static_cast<long>(tb.metrics.at("unvisited_states"))
+            << " never visited during training\n"
             << "(the coarse table collapses the continuous per-node feedback"
                " the DQN exploits; the paper's\n full input space would need"
                " a table exponential in K and is unrepresentable)\n";
+  exp::write_json("ablation_tabular", trials,
+                  {.jobs = runner.jobs(), .wall_seconds = wall}, &std::cerr);
   return 0;
 }

@@ -6,16 +6,21 @@
 // (N_TX = 3) is included for reference. For each controller the harness
 // prints the N_TX time series plus the paper's headline aggregates
 // (both ~99.3% reliable; Dimmer 12.3 ms vs PID 14.4 ms radio-on).
+//
+// The three controller runs execute as parallel trials on exp::Runner
+// (DIMMER_JOBS workers); each trial owns its topology, interference field
+// and network, so the table below is identical for every job count.
+#include <chrono>
+#include <cmath>
 #include <iostream>
-#include <memory>
 
-#include "baselines/pid.hpp"
 #include "bench/common.hpp"
 #include "core/controller.hpp"
 #include "core/protocol.hpp"
 #include "core/scenarios.hpp"
+#include "exp/json.hpp"
+#include "exp/runner.hpp"
 #include "phy/topology.hpp"
-#include "rl/quantized.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -32,13 +37,8 @@ const char* phase_at(double t_min) {
 }  // namespace
 
 int main() {
-  phy::Topology topo = phy::make_office18_topology();
   const sim::TimeUs origin = sim::hours(10);
   const int rounds = 27 * 60 / 4;  // 27 minutes at 4 s rounds
-
-  phy::InterferenceField field;
-  core::add_office_ambient(field, topo);
-  core::add_dynamic_jamming(field, topo, phy::kControlChannel, origin);
 
   rl::Mlp policy = bench::shared_policy();
   core::PretrainedOptions popt;
@@ -51,47 +51,83 @@ int main() {
                       {"Fig. 4d", "pid"},
                       {"(ref)", "lwb"}};
 
-  util::Table summary(
-      {"figure", "controller", "reliability", "radio-on [ms]", "mean N_TX"});
-
+  std::vector<exp::TrialSpec> specs;
   for (const Run& run : runs) {
-    std::unique_ptr<core::AdaptivityController> controller;
-    if (std::string(run.name) == "dimmer")
-      controller = std::make_unique<core::DqnController>(
-          rl::QuantizedMlp(policy), popt.features);
-    else if (std::string(run.name) == "pid")
-      controller = std::make_unique<baselines::PidController>();
-    else
-      controller = std::make_unique<core::StaticController>(3);
+    exp::TrialSpec s;
+    s.scenario = run.name;
+    s.seed = 3;
+    s.tags["figure"] = run.figure;
+    specs.push_back(std::move(s));
+  }
+
+  auto trial = [&](const exp::TrialSpec& spec, util::Pcg32&) {
+    phy::Topology topo = phy::make_office18_topology();
+    phy::InterferenceField field;
+    core::add_office_ambient(field, topo);
+    core::add_dynamic_jamming(field, topo, phy::kControlChannel, origin);
 
     core::ProtocolConfig cfg;
     cfg.start_time = origin;
-    core::DimmerNetwork net(topo, field, cfg, std::move(controller), 0, 3);
+    core::DimmerNetwork net(
+        topo, field, cfg,
+        bench::make_controller(spec.scenario, policy, popt.features), 0,
+        spec.seed);
     auto sources = bench::all_to_all_sources(topo);
 
-    std::cout << run.figure << " — " << run.name
-              << " under dynamic interference\n";
-    util::Table series({"t [min]", "phase", "N_TX", "reliability",
-                        "radio-on [ms]"});
+    exp::TrialResult r;
     util::RunningStats rel, radio, ntx;
-    for (int r = 0; r < rounds; ++r) {
+    for (int rd = 0; rd < rounds; ++rd) {
       core::RoundStats rs = net.run_round(sources);
       rel.add(rs.reliability);
       radio.add(rs.radio_on_ms);
       ntx.add(rs.n_tx);
-      if (r % 30 == 0) {
-        double t_min = static_cast<double>(r) * 4.0 / 60.0;
-        series.add_row({util::Table::num(t_min, 0), phase_at(t_min),
-                        std::to_string(rs.n_tx),
-                        util::Table::pct(rs.reliability),
-                        util::Table::num(rs.radio_on_ms)});
+      if (rd % 30 == 0) {
+        r.series["t_min"].push_back(static_cast<double>(rd) * 4.0 / 60.0);
+        r.series["n_tx"].push_back(rs.n_tx);
+        r.series["reliability"].push_back(rs.reliability);
+        r.series["radio_on_ms"].push_back(rs.radio_on_ms);
       }
+    }
+    r.metrics["reliability"] = rel.mean();
+    r.metrics["radio_on_ms"] = radio.mean();
+    r.metrics["n_tx"] = ntx.mean();
+    r.stats["reliability"] = rel;
+    r.stats["radio_on_ms"] = radio;
+    r.stats["n_tx"] = ntx;
+    return r;
+  };
+
+  exp::Runner runner;
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<exp::Trial> trials = runner.run(std::move(specs), trial);
+  double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  bench::require_all_ok(trials);
+
+  util::Table summary(
+      {"figure", "controller", "reliability", "radio-on [ms]", "mean N_TX"});
+  for (const exp::Trial& t : trials) {
+    std::cout << t.spec.tags.at("figure") << " — " << t.spec.scenario
+              << " under dynamic interference\n";
+    util::Table series({"t [min]", "phase", "N_TX", "reliability",
+                        "radio-on [ms]"});
+    const exp::TrialResult& r = t.result;
+    for (std::size_t i = 0; i < r.series.at("t_min").size(); ++i) {
+      double t_min = r.series.at("t_min")[i];
+      series.add_row(
+          {util::Table::num(t_min, 0), phase_at(t_min),
+           std::to_string(
+               static_cast<int>(std::llround(r.series.at("n_tx")[i]))),
+           util::Table::pct(r.series.at("reliability")[i]),
+           util::Table::num(r.series.at("radio_on_ms")[i])});
     }
     series.print(std::cout);
     std::cout << '\n';
-    summary.add_row({run.figure, run.name, util::Table::pct(rel.mean()),
-                     util::Table::num(radio.mean()),
-                     util::Table::num(ntx.mean())});
+    summary.add_row({t.spec.tags.at("figure"), t.spec.scenario,
+                     util::Table::pct(r.metrics.at("reliability")),
+                     util::Table::num(r.metrics.at("radio_on_ms")),
+                     util::Table::num(r.metrics.at("n_tx"))});
   }
 
   std::cout << "aggregates over the 27-minute experiment\n";
@@ -99,5 +135,7 @@ int main() {
   std::cout << "(paper: Dimmer and PID both 99.3% reliable; Dimmer 12.3 ms"
                " vs PID 14.4 ms radio-on —\n the PID overshoots to N_max"
                " under light interference, Dimmer finds the setpoint)\n";
+  exp::write_json("fig4_dynamic", trials,
+                  {.jobs = runner.jobs(), .wall_seconds = wall}, &std::cerr);
   return 0;
 }

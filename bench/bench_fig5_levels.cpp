@@ -10,66 +10,100 @@
 // the PID's radio-on time jumps to the maximum as soon as any interference
 // appears, while Dimmer's scales with the interference strength and LWB's
 // stays low (5b). The Dimmer-vs-PID energy crossover sits below ~15%.
+//
+// Every (level, protocol, run) cell is one trial on exp::Runner; the tables
+// aggregate per-cell metrics in spec order, so output is identical for any
+// DIMMER_JOBS.
+#include <chrono>
 #include <iostream>
-#include <memory>
+#include <string>
 
-#include "baselines/pid.hpp"
 #include "bench/common.hpp"
 #include "core/controller.hpp"
 #include "core/protocol.hpp"
 #include "core/scenarios.hpp"
+#include "exp/json.hpp"
+#include "exp/runner.hpp"
 #include "phy/topology.hpp"
-#include "rl/quantized.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 using namespace dimmer;
 
 int main() {
-  phy::Topology topo = phy::make_office18_topology();
   rl::Mlp policy = bench::shared_policy();
   core::PretrainedOptions popt;
-  auto sources = bench::all_to_all_sources(topo);
 
   const int runs = bench::scaled(3);
   const int rounds_per_run = bench::scaled(30 * 60 / 4);  // 30-minute runs
   const double levels[] = {0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35};
   const char* protocols[] = {"dimmer", "pid", "lwb"};
 
-  util::Table t5a({"interference", "protocol", "reliability", "stddev"});
-  util::Table t5b({"interference", "protocol", "radio-on [ms]", "stddev"});
-
+  std::vector<exp::TrialSpec> specs;
   for (double level : levels) {
     for (const char* proto : protocols) {
-      util::RunningStats rel_runs, radio_runs;
       for (int run = 0; run < runs; ++run) {
-        phy::InterferenceField field;
-        core::add_office_ambient(field, topo);
-        if (level > 0.0) core::add_static_jamming(field, topo, level);
-
-        std::unique_ptr<core::AdaptivityController> controller;
-        if (std::string(proto) == "dimmer")
-          controller = std::make_unique<core::DqnController>(
-              rl::QuantizedMlp(policy), popt.features);
-        else if (std::string(proto) == "pid")
-          controller = std::make_unique<baselines::PidController>();
-        else
-          controller = std::make_unique<core::StaticController>(3);
-
-        core::ProtocolConfig cfg;
-        cfg.start_time = sim::hours(10) + sim::minutes(run * 40);
-        core::DimmerNetwork net(topo, field, cfg, std::move(controller), 0,
-                                util::hash_u64(0xF150ULL, static_cast<std::uint64_t>(run),
-                                               static_cast<std::uint64_t>(level * 100)));
-        util::RunningStats rel, radio;
-        for (int r = 0; r < rounds_per_run; ++r) {
-          core::RoundStats rs = net.run_round(sources);
-          rel.add(rs.reliability);
-          radio.add(rs.radio_on_ms);
-        }
-        rel_runs.add(rel.mean());
-        radio_runs.add(radio.mean());
+        exp::TrialSpec s;
+        s.scenario = std::string(proto) + "@" + util::Table::pct(level, 0);
+        s.seed = util::hash_u64(0xF150ULL, static_cast<std::uint64_t>(run),
+                                static_cast<std::uint64_t>(level * 100));
+        s.params["level"] = level;
+        s.params["run"] = run;
+        s.tags["protocol"] = proto;
+        specs.push_back(std::move(s));
       }
+    }
+  }
+
+  auto trial = [&](const exp::TrialSpec& spec, util::Pcg32&) {
+    phy::Topology topo = phy::make_office18_topology();
+    auto sources = bench::all_to_all_sources(topo);
+    double level = spec.params.at("level");
+    int run = static_cast<int>(spec.params.at("run"));
+
+    phy::InterferenceField field;
+    core::add_office_ambient(field, topo);
+    if (level > 0.0) core::add_static_jamming(field, topo, level);
+
+    core::ProtocolConfig cfg;
+    cfg.start_time = sim::hours(10) + sim::minutes(run * 40);
+    core::DimmerNetwork net(
+        topo, field, cfg,
+        bench::make_controller(spec.tags.at("protocol"), policy,
+                               popt.features),
+        0, spec.seed);
+    util::RunningStats rel, radio;
+    for (int r = 0; r < rounds_per_run; ++r) {
+      core::RoundStats rs = net.run_round(sources);
+      rel.add(rs.reliability);
+      radio.add(rs.radio_on_ms);
+    }
+    exp::TrialResult res;
+    res.metrics["reliability"] = rel.mean();
+    res.metrics["radio_on_ms"] = radio.mean();
+    res.stats["reliability"] = rel;
+    res.stats["radio_on_ms"] = radio;
+    return res;
+  };
+
+  exp::Runner runner;
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<exp::Trial> trials = runner.run(std::move(specs), trial);
+  double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  bench::require_all_ok(trials);
+
+  util::Table t5a({"interference", "protocol", "reliability", "stddev"});
+  util::Table t5b({"interference", "protocol", "radio-on [ms]", "stddev"});
+  for (double level : levels) {
+    for (const char* proto : protocols) {
+      std::string scenario =
+          std::string(proto) + "@" + util::Table::pct(level, 0);
+      util::RunningStats rel_runs =
+          exp::metric_stats(trials, scenario, "reliability");
+      util::RunningStats radio_runs =
+          exp::metric_stats(trials, scenario, "radio_on_ms");
       t5a.add_row({util::Table::pct(level, 0), proto,
                    util::Table::pct(rel_runs.mean(), 2),
                    util::Table::pct(rel_runs.stddev(), 2)});
@@ -88,5 +122,7 @@ int main() {
                " needs less energy below ~15% for similar reliability;\n"
                " LWB's reliability degrades but some slots fit between"
                " bursts)\n";
+  exp::write_json("fig5_levels", trials,
+                  {.jobs = runner.jobs(), .wall_seconds = wall}, &std::cerr);
   return 0;
 }

@@ -11,8 +11,13 @@
 // Crystal 100 / 100 / 99 %. Energy: LWB cheapest when calm and degraded by
 // lost synchronization under jamming; Dimmer's rises with interference as
 // N_TX ramps to N_max, comparable to the dependability-tuned Crystal.
+//
+// Every (episode, protocol, run) cell is a trial on exp::Runner; DIMMER_JOBS
+// workers share nothing mutable, so the table is job-count independent.
+#include <chrono>
 #include <iostream>
 #include <memory>
+#include <string>
 
 #include "baselines/crystal.hpp"
 #include "bench/common.hpp"
@@ -20,6 +25,8 @@
 #include "core/controller.hpp"
 #include "core/pretrained.hpp"
 #include "core/scenarios.hpp"
+#include "exp/json.hpp"
+#include "exp/runner.hpp"
 #include "phy/energy.hpp"
 #include "phy/topology.hpp"
 #include "rl/quantized.hpp"
@@ -29,7 +36,6 @@
 using namespace dimmer;
 
 int main() {
-  phy::Topology topo = phy::make_dcube48_topology();
   rl::Mlp policy = bench::shared_policy();
   core::PretrainedOptions popt;
 
@@ -39,65 +45,101 @@ int main() {
   const char* episodes[] = {"no interference", "WiFi level 1",
                             "WiFi level 2"};
 
+  std::vector<exp::TrialSpec> specs;
+  for (int wifi = 0; wifi <= 2; ++wifi) {
+    for (const char* proto : protocols) {
+      for (int run = 0; run < runs; ++run) {
+        exp::TrialSpec s;
+        s.scenario = std::string(proto) + "@wifi" + std::to_string(wifi);
+        s.seed = util::hash_u64(0xF700ULL, static_cast<std::uint64_t>(wifi),
+                                static_cast<std::uint64_t>(run));
+        s.params["wifi"] = wifi;
+        s.tags["protocol"] = proto;
+        s.tags["episode"] = episodes[wifi];
+        specs.push_back(std::move(s));
+      }
+    }
+  }
+
+  auto trial = [&](const exp::TrialSpec& spec, util::Pcg32&) {
+    phy::Topology topo = phy::make_dcube48_topology();
+    int wifi = static_cast<int>(spec.params.at("wifi"));
+    const std::string& proto = spec.tags.at("protocol");
+    std::uint64_t seed = spec.seed;
+
+    phy::InterferenceField field;
+    if (wifi > 0)
+      phy::add_dcube_wifi_level(field, topo, wifi,
+                                util::hash_u64(seed, 0xA9ULL));
+
+    core::CollectionConfig workload;
+    workload.duration = sim::minutes(minutes);
+    workload.seed = seed;
+
+    exp::TrialResult r;
+    if (proto == "crystal") {
+      baselines::CrystalNetwork::Config ccfg;
+      baselines::CrystalNetwork net(topo, field, ccfg, /*sink=*/0, seed);
+      auto res = baselines::run_crystal_collection(
+          net, workload.n_sources, workload.mean_interarrival,
+          workload.duration, seed);
+      r.metrics["reliability"] = res.reliability;
+      r.metrics["radio_duty"] = res.radio_duty;
+      return r;
+    }
+
+    core::ProtocolConfig cfg;
+    cfg.round_period = sim::seconds(1);  // paper: 1 s rounds in D-Cube
+    for (int i = 1; i <= workload.n_sources; ++i)
+      cfg.feedback_nodes.push_back(i);
+    cfg.feedback_nodes.push_back(0);
+    cfg.feedback_freshness_rounds = 2;
+    cfg.stats_window_slots = 12;
+    cfg.radio_window_slots = 7;
+
+    std::unique_ptr<core::AdaptivityController> controller;
+    if (proto == "dimmer") {
+      controller = std::make_unique<core::DqnController>(
+          rl::QuantizedMlp(policy), popt.features);
+      cfg.round.hop_sequence.assign(
+          phy::default_hopping_sequence().begin(),
+          phy::default_hopping_sequence().end());
+      workload.acks = true;
+    } else {
+      controller = std::make_unique<core::StaticController>(3);
+      workload.acks = false;
+    }
+    core::DimmerNetwork net(topo, field, cfg, std::move(controller), 0,
+                            seed);
+    core::CollectionResult res = core::run_collection(net, workload);
+    r.metrics["reliability"] = res.reliability;
+    r.metrics["radio_duty"] = res.radio_duty;
+    r.metrics["avg_n_tx"] = res.avg_n_tx;
+    r.metrics["radio_on_ms"] = res.radio_on_ms;
+    return r;
+  };
+
+  exp::Runner runner;
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<exp::Trial> trials = runner.run(std::move(specs), trial);
+  double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  bench::require_all_ok(trials);
+
   phy::EnergyModel energy;
   util::Table table({"episode", "protocol", "reliability", "stddev",
                      "radio duty", "avg power [mW]", "mean N_TX"});
-
   for (int wifi = 0; wifi <= 2; ++wifi) {
     for (const char* proto : protocols) {
-      util::RunningStats rel, duty, ntx;
-      for (int run = 0; run < runs; ++run) {
-        std::uint64_t seed =
-            util::hash_u64(0xF700ULL, static_cast<std::uint64_t>(wifi),
-                           static_cast<std::uint64_t>(run));
-        phy::InterferenceField field;
-        if (wifi > 0)
-          phy::add_dcube_wifi_level(field, topo, wifi,
-                                    util::hash_u64(seed, 0xA9ULL));
-
-        core::CollectionConfig workload;
-        workload.duration = sim::minutes(minutes);
-        workload.seed = seed;
-
-        if (std::string(proto) == "crystal") {
-          baselines::CrystalNetwork::Config ccfg;
-          baselines::CrystalNetwork net(topo, field, ccfg, /*sink=*/0, seed);
-          auto res = baselines::run_crystal_collection(
-              net, workload.n_sources, workload.mean_interarrival,
-              workload.duration, seed);
-          rel.add(res.reliability);
-          duty.add(res.radio_duty);
-          continue;
-        }
-
-        core::ProtocolConfig cfg;
-        cfg.round_period = sim::seconds(1);  // paper: 1 s rounds in D-Cube
-        for (int i = 1; i <= workload.n_sources; ++i)
-          cfg.feedback_nodes.push_back(i);
-        cfg.feedback_nodes.push_back(0);
-        cfg.feedback_freshness_rounds = 2;
-        cfg.stats_window_slots = 12;
-        cfg.radio_window_slots = 7;
-
-        std::unique_ptr<core::AdaptivityController> controller;
-        if (std::string(proto) == "dimmer") {
-          controller = std::make_unique<core::DqnController>(
-              rl::QuantizedMlp(policy), popt.features);
-          cfg.round.hop_sequence.assign(
-              phy::default_hopping_sequence().begin(),
-              phy::default_hopping_sequence().end());
-          workload.acks = true;
-        } else {
-          controller = std::make_unique<core::StaticController>(3);
-          workload.acks = false;
-        }
-        core::DimmerNetwork net(topo, field, cfg, std::move(controller), 0,
-                                seed);
-        core::CollectionResult res = core::run_collection(net, workload);
-        rel.add(res.reliability);
-        duty.add(res.radio_duty);
-        ntx.add(res.avg_n_tx);
-      }
+      std::string scenario =
+          std::string(proto) + "@wifi" + std::to_string(wifi);
+      util::RunningStats rel =
+          exp::metric_stats(trials, scenario, "reliability");
+      util::RunningStats duty =
+          exp::metric_stats(trials, scenario, "radio_duty");
+      util::RunningStats ntx =
+          exp::metric_stats(trials, scenario, "avg_n_tx");
       table.add_row({episodes[wifi], proto, util::Table::pct(rel.mean()),
                      util::Table::pct(rel.stddev()),
                      util::Table::pct(duty.mean(), 2),
@@ -111,5 +153,7 @@ int main() {
   table.print(std::cout);
   std::cout << "\n(paper: LWB 100/93.6/27%; Dimmer 100/98.3/95.8% without"
                " retraining; Crystal 100/100/99%)\n";
+  exp::write_json("fig7_dcube", trials,
+                  {.jobs = runner.jobs(), .wall_seconds = wall}, &std::cerr);
   return 0;
 }

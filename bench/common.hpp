@@ -12,10 +12,15 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "baselines/pid.hpp"
+#include "core/controller.hpp"
 #include "core/pretrained.hpp"
+#include "exp/runner.hpp"
 #include "phy/topology.hpp"
+#include "rl/quantized.hpp"
 
 namespace dimmer::bench {
 
@@ -40,6 +45,31 @@ inline std::string policy_cache_path() {
 inline rl::Mlp shared_policy() {
   core::PretrainedOptions opt;
   return core::load_or_train_policy(policy_cache_path(), opt, &std::cerr);
+}
+
+/// The three adaptivity controllers the figure benches compare: "dimmer"
+/// (the trained DQN), "pid" (the baseline), anything else = static LWB at
+/// N_TX = 3. Safe to call from parallel trials: `policy` is only read.
+inline std::unique_ptr<core::AdaptivityController> make_controller(
+    const std::string& name, const rl::Mlp& policy,
+    const core::FeatureConfig& features) {
+  if (name == "dimmer")
+    return std::make_unique<core::DqnController>(rl::QuantizedMlp(policy),
+                                                 features);
+  if (name == "pid") return std::make_unique<baselines::PidController>();
+  return std::make_unique<core::StaticController>(3);
+}
+
+/// Abort the bench if any trial of a sweep failed, with the error on stderr.
+inline void require_all_ok(const std::vector<exp::Trial>& trials) {
+  bool ok = true;
+  for (const exp::Trial& t : trials)
+    if (!t.result.ok) {
+      std::cerr << "trial '" << t.spec.scenario << "' failed: " << t.result.error
+                << "\n";
+      ok = false;
+    }
+  if (!ok) std::exit(1);
 }
 
 /// All 18 nodes broadcast every round (paper §V-A: periodic 4 s traffic).

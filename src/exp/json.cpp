@@ -1,0 +1,174 @@
+#include "exp/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace dimmer::exp {
+namespace {
+
+// %.17g round-trips every double exactly and is locale-independent for the
+// characters it emits, so serialization is deterministic across runs.
+std::string fmt(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void emit_stats(std::ostringstream& os, const util::RunningStats& s) {
+  os << "{\"count\": " << s.count() << ", \"mean\": " << fmt(s.mean())
+     << ", \"stddev\": " << fmt(s.stddev()) << ", \"min\": " << fmt(s.min())
+     << ", \"max\": " << fmt(s.max()) << "}";
+}
+
+template <typename Map, typename EmitValue>
+void emit_object(std::ostringstream& os, const Map& m, EmitValue&& ev) {
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) os << ", ";
+    first = false;
+    os << quote(k) << ": ";
+    ev(v);
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string to_json(const std::string& bench, const std::vector<Trial>& trials,
+                    const JsonOptions& opt) {
+  std::ostringstream os;
+  os << "{\n  \"bench\": " << quote(bench) << ",\n  \"schema_version\": 1";
+  if (opt.include_timing) {
+    os << ",\n  \"jobs\": " << opt.jobs
+       << ",\n  \"wall_seconds\": " << fmt(opt.wall_seconds);
+  }
+  os << ",\n  \"trials\": [";
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const Trial& t = trials[i];
+    os << (i ? ",\n    " : "\n    ");
+    os << "{\"scenario\": " << quote(t.spec.scenario)
+       << ", \"seed\": " << t.spec.seed;
+    if (!t.spec.params.empty()) {
+      os << ", \"params\": ";
+      emit_object(os, t.spec.params, [&](double v) { os << fmt(v); });
+    }
+    if (!t.spec.tags.empty()) {
+      os << ", \"tags\": ";
+      emit_object(os, t.spec.tags, [&](const std::string& v) { os << quote(v); });
+    }
+    os << ", \"ok\": " << (t.result.ok ? "true" : "false");
+    if (!t.result.ok) os << ", \"error\": " << quote(t.result.error);
+    os << ",\n     \"metrics\": ";
+    emit_object(os, t.result.metrics, [&](double v) { os << fmt(v); });
+    if (!t.result.stats.empty()) {
+      os << ",\n     \"stats\": ";
+      emit_object(os, t.result.stats,
+                  [&](const util::RunningStats& s) { emit_stats(os, s); });
+    }
+    if (!t.result.series.empty()) {
+      os << ",\n     \"series\": ";
+      emit_object(os, t.result.series, [&](const std::vector<double>& v) {
+        os << "[";
+        for (std::size_t j = 0; j < v.size(); ++j)
+          os << (j ? ", " : "") << fmt(v[j]);
+        os << "]";
+      });
+    }
+    if (opt.include_timing)
+      os << ", \"wall_seconds\": " << fmt(t.result.wall_seconds);
+    os << "}";
+  }
+  os << "\n  ],\n  \"aggregates\": {";
+
+  // Scenario groups in first-appearance order (deterministic: spec order).
+  std::vector<std::string> scenarios;
+  for (const Trial& t : trials) {
+    bool seen = false;
+    for (const std::string& s : scenarios) seen = seen || s == t.spec.scenario;
+    if (!seen) scenarios.push_back(t.spec.scenario);
+  }
+  for (std::size_t si = 0; si < scenarios.size(); ++si) {
+    const std::string& sc = scenarios[si];
+    std::size_t n_ok = 0;
+    std::map<std::string, util::RunningStats> metric_acc;
+    std::map<std::string, util::RunningStats> stat_acc;
+    for (const Trial& t : trials) {
+      if (t.spec.scenario != sc || !t.result.ok) continue;
+      ++n_ok;
+      for (const auto& [k, v] : t.result.metrics) metric_acc[k].add(v);
+      for (const auto& [k, s] : t.result.stats) stat_acc[k].merge(s);
+    }
+    os << (si ? ",\n    " : "\n    ");
+    os << quote(sc) << ": {\"trials\": " << n_ok;
+    if (!metric_acc.empty()) {
+      os << ", \"metrics\": ";
+      emit_object(os, metric_acc,
+                  [&](const util::RunningStats& s) { emit_stats(os, s); });
+    }
+    if (!stat_acc.empty()) {
+      os << ", \"stats\": ";
+      emit_object(os, stat_acc,
+                  [&](const util::RunningStats& s) { emit_stats(os, s); });
+    }
+    os << "}";
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+std::string output_path(const std::string& bench) {
+  const char* dir = std::getenv("DIMMER_BENCH_OUT");
+  std::string d = dir && *dir ? dir : ".";
+  if (d.back() != '/') d += '/';
+  return d + "BENCH_" + bench + ".json";
+}
+
+bool write_json(const std::string& bench, const std::vector<Trial>& trials,
+                const JsonOptions& opt, std::ostream* log) {
+  std::string path = output_path(bench);
+  std::ofstream f(path);
+  if (!f.good()) {
+    // The sweep's tables have already been printed by the time the JSON
+    // artifact is written; a bad DIMMER_BENCH_OUT must not abort the run.
+    std::cerr << "[exp] ERROR: cannot open " << path
+              << " for writing (check DIMMER_BENCH_OUT)\n";
+    return false;
+  }
+  f << to_json(bench, trials, opt);
+  if (log) *log << "[exp] wrote " << path << "\n";
+  return true;
+}
+
+}  // namespace dimmer::exp

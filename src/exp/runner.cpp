@@ -1,0 +1,118 @@
+#include "exp/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace dimmer::exp {
+
+int jobs_from_env() {
+  if (const char* s = std::getenv("DIMMER_JOBS")) {
+    int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+Runner::Runner() : Runner(Options{}) {}
+
+Runner::Runner(Options opt)
+    : jobs_(opt.jobs > 0 ? opt.jobs : jobs_from_env()),
+      master_seed_(opt.master_seed) {}
+
+std::vector<Trial> Runner::run(std::vector<TrialSpec> specs,
+                               const TrialFn& fn) const {
+  std::vector<Trial> out(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    out[i].spec = std::move(specs[i]);
+
+  // Fork every trial's generator from one root *before* dispatch, in spec
+  // order: the stream a trial sees is a function of its index and seed only,
+  // never of which worker picks it up or when.
+  util::Pcg32 root(master_seed_);
+  std::vector<util::Pcg32> rngs;
+  rngs.reserve(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    rngs.push_back(root.fork(util::hash_u64(out[i].spec.seed, i)));
+
+  auto run_one = [&](std::size_t i) {
+    auto t0 = std::chrono::steady_clock::now();
+    TrialResult r;
+    try {
+      r = fn(out[i].spec, rngs[i]);
+    } catch (const std::exception& e) {
+      r = TrialResult{};
+      r.ok = false;
+      r.error = e.what();
+    } catch (...) {
+      r = TrialResult{};
+      r.ok = false;
+      r.error = "unknown exception";
+    }
+    r.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    out[i].result = std::move(r);
+  };
+
+  std::size_t n_workers = static_cast<std::size_t>(jobs_);
+  if (n_workers > out.size()) n_workers = out.size();
+  if (n_workers <= 1) {
+    // Inline execution: no threads at DIMMER_JOBS=1, so single-job runs are
+    // debuggable with plain gdb/asan and trivially schedule-free.
+    for (std::size_t i = 0; i < out.size(); ++i) run_one(i);
+    return out;
+  }
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= out.size()) return;
+      run_one(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return out;
+}
+
+namespace {
+template <typename Fn>
+void for_scenario(const std::vector<Trial>& trials, const std::string& scenario,
+                  Fn&& fn) {
+  for (const Trial& t : trials) {
+    if (!t.result.ok) continue;
+    if (!scenario.empty() && t.spec.scenario != scenario) continue;
+    fn(t);
+  }
+}
+}  // namespace
+
+util::RunningStats merged_stat(const std::vector<Trial>& trials,
+                               const std::string& scenario,
+                               const std::string& key) {
+  util::RunningStats acc;
+  for_scenario(trials, scenario, [&](const Trial& t) {
+    auto it = t.result.stats.find(key);
+    if (it != t.result.stats.end()) acc.merge(it->second);
+  });
+  return acc;
+}
+
+util::RunningStats metric_stats(const std::vector<Trial>& trials,
+                                const std::string& scenario,
+                                const std::string& metric) {
+  util::RunningStats acc;
+  for_scenario(trials, scenario, [&](const Trial& t) {
+    auto it = t.result.metrics.find(metric);
+    if (it != t.result.metrics.end()) acc.add(it->second);
+  });
+  return acc;
+}
+
+}  // namespace dimmer::exp

@@ -1,0 +1,106 @@
+// Deterministic parallel experiment runner.
+//
+// The paper's evaluation is a pile of embarrassingly parallel trials: every
+// (scenario, seed, config) cell builds its own Topology / DimmerNetwork /
+// Pcg32 and never touches another trial's state. The Runner executes a
+// vector of TrialSpecs on a fixed-size std::thread pool (an atomic index is
+// the work queue) and returns results in spec order.
+//
+// Determinism contract: results are bit-identical for every DIMMER_JOBS
+// value and any thread schedule, because
+//  (a) each trial derives its RNG by Pcg32::fork *before* dispatch, in spec
+//      order, so the stream a trial sees depends only on its index;
+//  (b) trials share nothing mutable (shared inputs — a trained policy, a
+//      trace dataset, a Topology — are const and their queries are pure);
+//  (c) aggregation (RunningStats::merge and friends) happens after the pool
+//      drains, walking trials in spec order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace dimmer::exp {
+
+/// One cell of a sweep: which scenario, which seed, which config overrides.
+struct TrialSpec {
+  /// Grouping key for aggregation and the JSON `aggregates` section
+  /// (e.g. "dimmer@15%"). Trials sharing a scenario are summarised together.
+  std::string scenario;
+  /// Base seed the trial function should use for its simulation components.
+  std::uint64_t seed = 0;
+  /// Numeric config overrides (interference level, reward constant, ...).
+  std::map<std::string, double> params;
+  /// Non-numeric overrides (protocol name, episode label, ...).
+  std::map<std::string, std::string> tags;
+};
+
+/// What one trial produced. All fields are written by the trial function
+/// except `wall_seconds` / `ok` / `error`, which the Runner fills in.
+struct TrialResult {
+  /// Scalar headline metrics (reliability, radio_on_ms, latency_ms, ...).
+  std::map<std::string, double> metrics;
+  /// Per-trial sample distributions (e.g. per-round reliability); scenarios
+  /// are summarised across trials with RunningStats::merge.
+  std::map<std::string, util::RunningStats> stats;
+  /// Named trajectories (e.g. the N_TX time series).
+  std::map<std::string, std::vector<double>> series;
+  double wall_seconds = 0.0;
+  bool ok = true;
+  std::string error;
+};
+
+struct Trial {
+  TrialSpec spec;
+  TrialResult result;
+};
+
+/// A trial receives its spec plus a private, pre-forked generator. It must
+/// not touch global mutable state; it may read shared const inputs.
+using TrialFn = std::function<TrialResult(const TrialSpec&, util::Pcg32&)>;
+
+/// Worker count: DIMMER_JOBS if set to a positive integer, else
+/// std::thread::hardware_concurrency() (at least 1).
+int jobs_from_env();
+
+class Runner {
+ public:
+  struct Options {
+    int jobs = 0;  ///< 0 = jobs_from_env()
+    /// Root of the per-trial fork tree; fixed so a sweep's RNG streams are
+    /// reproducible across runs and machines.
+    std::uint64_t master_seed = 0xD133E201ULL;
+  };
+
+  Runner();  ///< default Options
+  explicit Runner(Options opt);
+
+  int jobs() const { return jobs_; }
+
+  /// Run every spec through `fn`. Trial exceptions are captured into
+  /// TrialResult::ok/error; they do not abort the sweep.
+  std::vector<Trial> run(std::vector<TrialSpec> specs, const TrialFn& fn) const;
+
+ private:
+  int jobs_;
+  std::uint64_t master_seed_;
+};
+
+/// Merge the named per-trial distribution across all ok trials of
+/// `scenario` (empty scenario = every trial), via RunningStats::merge.
+util::RunningStats merged_stat(const std::vector<Trial>& trials,
+                               const std::string& scenario,
+                               const std::string& key);
+
+/// RunningStats over a scalar metric across ok trials of `scenario`
+/// (empty scenario = every trial). Trials lacking the metric are skipped.
+util::RunningStats metric_stats(const std::vector<Trial>& trials,
+                                const std::string& scenario,
+                                const std::string& metric);
+
+}  // namespace dimmer::exp

@@ -16,6 +16,9 @@ DqnAgent::DqnAgent(DqnConfig cfg, std::uint64_t seed)
       grads_(online_.make_grads()) {
   DIMMER_REQUIRE(cfg_.gamma >= 0.0 && cfg_.gamma < 1.0, "gamma out of [0,1)");
   DIMMER_REQUIRE(cfg_.batch_size > 0, "batch size must be positive");
+  DIMMER_REQUIRE(cfg_.min_replay_before_training >= cfg_.batch_size,
+                 "min_replay_before_training must be >= batch_size (training "
+                 "on a smaller buffer just resamples the same transitions)");
   DIMMER_REQUIRE(cfg_.epsilon_anneal_steps > 0, "anneal steps must be > 0");
   target_.copy_parameters_from(online_);
 }

@@ -5,12 +5,18 @@
 // mostly advance in fixed periods, but the queue also backs the aperiodic
 // traffic generators (D-Cube data collection) and scenario scripts
 // (jammer on/off at minute marks).
+//
+// Cancellation: the heap stores only (timestamp, id) keys; callbacks live in
+// a side table keyed by id. cancel() releases the callback (and whatever it
+// captures) immediately, and the heap is compacted once cancelled residue
+// outnumbers live events — long-lived queues with many cancelled far-future
+// timers stay bounded by the live event count.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -27,8 +33,9 @@ class EventQueue {
   EventId schedule_at(TimeUs at, Callback cb) {
     DIMMER_REQUIRE(at >= now_, "cannot schedule an event in the past");
     EventId id = next_id_++;
-    heap_.push(Event{at, id, std::move(cb)});
-    pending_.insert(id);
+    heap_.push_back(Key{at, id});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    callbacks_.emplace(id, std::move(cb));
     return id;
   }
 
@@ -39,20 +46,38 @@ class EventQueue {
   }
 
   /// Cancel a pending event; returns false if it already fired or is unknown.
-  bool cancel(EventId id) { return pending_.erase(id) > 0; }
+  /// The callback (and everything it captures) is destroyed immediately.
+  bool cancel(EventId id) {
+    if (callbacks_.erase(id) == 0) return false;
+    ++cancelled_;
+    if (cancelled_ > callbacks_.size() && heap_.size() >= kCompactMin)
+      compact();
+    return true;
+  }
 
   TimeUs now() const { return now_; }
-  bool empty() const { return pending_.empty(); }
-  std::size_t size() const { return pending_.size(); }
+  bool empty() const { return callbacks_.empty(); }
+
+  /// Number of live (non-cancelled, not yet fired) events.
+  std::size_t size() const { return callbacks_.size(); }
+
+  /// Heap entries including cancelled residue awaiting compaction
+  /// (diagnostics; bounded by 2 * size() + a small constant).
+  std::size_t heap_size() const { return heap_.size(); }
 
   /// Run the next live event; returns false if the queue is empty.
   bool step() {
     while (!heap_.empty()) {
-      Event ev = std::move(const_cast<Event&>(heap_.top()));
-      heap_.pop();
-      if (pending_.erase(ev.id) == 0) continue;  // was cancelled
-      now_ = ev.at;
-      ev.cb();
+      Key key = pop_heap_top();
+      auto it = callbacks_.find(key.id);
+      if (it == callbacks_.end()) {  // was cancelled
+        --cancelled_;
+        continue;
+      }
+      now_ = key.at;
+      Callback cb = std::move(it->second);
+      callbacks_.erase(it);
+      cb();
       return true;
     }
     return false;
@@ -61,7 +86,11 @@ class EventQueue {
   /// Run all events with timestamp <= `until` (inclusive); time ends at
   /// max(now, until).
   void run_until(TimeUs until) {
-    while (!heap_.empty() && heap_.top().at <= until) step();
+    for (;;) {
+      drop_cancelled_head();
+      if (heap_.empty() || heap_.front().at > until) break;
+      step();
+    }
     now_ = std::max(now_, until);
   }
 
@@ -72,17 +101,50 @@ class EventQueue {
   }
 
  private:
-  struct Event {
+  struct Key {
     TimeUs at;
     EventId id;
-    Callback cb;
-    bool operator>(const Event& o) const {
-      return at != o.at ? at > o.at : id > o.id;
+  };
+  /// Min-heap comparator: a sorts after b if it fires later (or, at the
+  /// same timestamp, was inserted later).
+  struct Later {
+    bool operator()(const Key& a, const Key& b) const {
+      return a.at != b.at ? a.at > b.at : a.id > b.id;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
-  std::set<EventId> pending_;
+  static constexpr std::size_t kCompactMin = 64;
+
+  Key pop_heap_top() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Key key = heap_.back();
+    heap_.pop_back();
+    return key;
+  }
+
+  /// Discard cancelled entries sitting at the head of the heap so that
+  /// heap_.front() is the next *live* event (or the heap is empty).
+  void drop_cancelled_head() {
+    while (!heap_.empty() && !callbacks_.count(heap_.front().id)) {
+      pop_heap_top();
+      --cancelled_;
+    }
+  }
+
+  /// Rebuild the heap from live entries only.
+  void compact() {
+    std::vector<Key> live;
+    live.reserve(callbacks_.size());
+    for (const Key& k : heap_)
+      if (callbacks_.count(k.id)) live.push_back(k);
+    heap_ = std::move(live);
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+    cancelled_ = 0;
+  }
+
+  std::vector<Key> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::size_t cancelled_ = 0;  ///< cancelled entries still in heap_
   TimeUs now_ = 0;
   EventId next_id_ = 0;
 };

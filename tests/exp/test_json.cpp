@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "exp/json.hpp"
+
+namespace dimmer::exp {
+namespace {
+
+std::vector<Trial> sample_trials() {
+  std::vector<Trial> trials(2);
+  trials[0].spec.scenario = "dimmer@15%";
+  trials[0].spec.seed = 42;
+  trials[0].spec.params["level"] = 0.15;
+  trials[0].spec.tags["protocol"] = "dimmer";
+  trials[0].result.metrics["reliability"] = 0.9375;  // exact in binary
+  trials[0].result.metrics["radio_on_ms"] = 12.3;
+  trials[0].result.stats["rel"].add(0.99);
+  trials[0].result.stats["rel"].add(0.996);
+  trials[0].result.series["n_tx"] = {3, 4, 4, 3};
+  trials[0].result.wall_seconds = 1.5;
+
+  trials[1].spec.scenario = "dimmer@15%";
+  trials[1].spec.seed = 43;
+  trials[1].result.ok = false;
+  trials[1].result.error = "died with \"quotes\"\nand newline";
+  return trials;
+}
+
+TEST(Json, ContainsSchemaAndScenarioAggregates) {
+  std::string s = to_json("fig5_levels", sample_trials());
+  EXPECT_NE(s.find("\"bench\": \"fig5_levels\""), std::string::npos);
+  EXPECT_NE(s.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(s.find("\"dimmer@15%\""), std::string::npos);
+  EXPECT_NE(s.find("\"reliability\": 0.9375"), std::string::npos);
+  // The failed trial is excluded from aggregates: one ok trial.
+  EXPECT_NE(s.find("\"trials\": 1"), std::string::npos);
+}
+
+TEST(Json, EscapesErrorStrings) {
+  std::string s = to_json("x", sample_trials());
+  EXPECT_NE(s.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(s.find("\\n"), std::string::npos);
+  EXPECT_EQ(s.find('\r'), std::string::npos);
+}
+
+TEST(Json, TimingFieldsAreOptional) {
+  JsonOptions with{.include_timing = true, .jobs = 8, .wall_seconds = 3.25};
+  JsonOptions without{.include_timing = false};
+  std::string a = to_json("x", sample_trials(), with);
+  std::string b = to_json("x", sample_trials(), without);
+  EXPECT_NE(a.find("\"jobs\": 8"), std::string::npos);
+  EXPECT_NE(a.find("\"wall_seconds\": 3.25"), std::string::npos);
+  EXPECT_EQ(b.find("wall_seconds"), std::string::npos);
+  EXPECT_EQ(b.find("jobs"), std::string::npos);
+}
+
+TEST(Json, SerializationIsDeterministic) {
+  JsonOptions opt{.include_timing = false};
+  EXPECT_EQ(to_json("x", sample_trials(), opt),
+            to_json("x", sample_trials(), opt));
+}
+
+TEST(Json, DoublesRoundTripExactly) {
+  std::vector<Trial> trials(1);
+  trials[0].spec.scenario = "s";
+  double v = 0.1 + 0.2;  // 0.30000000000000004
+  trials[0].result.metrics["v"] = v;
+  std::string s = to_json("x", trials, {.include_timing = false});
+  auto pos = s.find("\"v\": ");
+  ASSERT_NE(pos, std::string::npos);
+  double back = std::strtod(s.c_str() + pos + 5, nullptr);
+  EXPECT_EQ(back, v);
+}
+
+TEST(Json, WriteJsonHonoursOutputDirEnv) {
+  ASSERT_EQ(setenv("DIMMER_BENCH_OUT", "/tmp", 1), 0);
+  EXPECT_EQ(output_path("unit"), "/tmp/BENCH_unit.json");
+  write_json("unit", sample_trials());
+  std::ifstream f("/tmp/BENCH_unit.json");
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), to_json("unit", sample_trials()));
+  std::remove("/tmp/BENCH_unit.json");
+  ASSERT_EQ(unsetenv("DIMMER_BENCH_OUT"), 0);
+}
+
+TEST(Json, WriteJsonToUnwritableDirFailsGracefully) {
+  ASSERT_EQ(setenv("DIMMER_BENCH_OUT", "/tmp/no/such/dir", 1), 0);
+  // A bad output dir must not throw/abort: the sweep's results have
+  // already been printed by the time the artifact is written.
+  EXPECT_FALSE(write_json("unit", sample_trials()));
+  ASSERT_EQ(unsetenv("DIMMER_BENCH_OUT"), 0);
+  EXPECT_TRUE(write_json("unit", sample_trials()));
+  std::remove("BENCH_unit.json");
+}
+
+}  // namespace
+}  // namespace dimmer::exp

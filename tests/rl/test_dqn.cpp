@@ -82,6 +82,15 @@ TEST(DqnAgent, RejectsBadGamma) {
   EXPECT_THROW(DqnAgent(cfg, 1), util::RequireError);
 }
 
+TEST(DqnAgent, RejectsWarmupSmallerThanBatch) {
+  DqnConfig cfg = tiny_config();
+  cfg.batch_size = 32;
+  cfg.min_replay_before_training = 31;  // would train by resampling 31 items
+  EXPECT_THROW(DqnAgent(cfg, 1), util::RequireError);
+  cfg.min_replay_before_training = 32;
+  EXPECT_NO_THROW(DqnAgent(cfg, 1));
+}
+
 // Contextual bandit: state (1,0) rewards action 0; state (0,1) rewards
 // action 1. The agent must learn the mapping.
 TEST(DqnAgent, SolvesContextualBandit) {

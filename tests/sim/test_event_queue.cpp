@@ -55,6 +55,58 @@ TEST(EventQueue, CancelPreventsExecution) {
   EXPECT_FALSE(ran);
 }
 
+TEST(EventQueue, CancelReleasesCallbackImmediately) {
+  EventQueue q;
+  auto payload = std::make_shared<int>(42);
+  auto id = q.schedule_at(hours(24), [payload] { (void)*payload; });
+  EXPECT_EQ(payload.use_count(), 2);
+  EXPECT_TRUE(q.cancel(id));
+  // The callback and its captures are destroyed on cancel, not at the
+  // event's (far-future) timestamp.
+  EXPECT_EQ(payload.use_count(), 1);
+}
+
+TEST(EventQueue, MassCancellationKeepsHeapBounded) {
+  EventQueue q;
+  auto payload = std::make_shared<int>(0);
+  std::vector<EventQueue::EventId> ids;
+  for (int i = 0; i < 10000; ++i)
+    ids.push_back(q.schedule_at(hours(100) + ms(i), [payload] { ++*payload; }));
+  EXPECT_EQ(q.size(), 10000u);
+  for (auto id : ids) EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(payload.use_count(), 1);       // all captures released
+  EXPECT_LT(q.heap_size(), 64u);           // residue compacted away
+}
+
+TEST(EventQueue, RepeatedScheduleCancelCyclesStayBounded) {
+  EventQueue q;
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    std::vector<EventQueue::EventId> ids;
+    for (int i = 0; i < 100; ++i)
+      ids.push_back(q.schedule_at(hours(1000), [] {}));
+    for (auto id : ids) q.cancel(id);
+    ASSERT_LT(q.heap_size(), 256u);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, RunUntilIgnoresCancelledHead) {
+  EventQueue q;
+  bool late_fired = false;
+  auto id = q.schedule_at(ms(10), [] {});
+  q.schedule_at(ms(30), [&] { late_fired = true; });
+  q.cancel(id);
+  // A cancelled entry at ms(10) must not drag execution past `until`.
+  q.run_until(ms(20));
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(q.now(), ms(20));
+  EXPECT_EQ(q.size(), 1u);
+  q.run_all();
+  EXPECT_TRUE(late_fired);
+}
+
 TEST(EventQueue, CancelAfterFiringReturnsFalse) {
   EventQueue q;
   auto id = q.schedule_at(ms(1), [] {});

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace dimmer::util {
@@ -57,6 +58,41 @@ TEST(RunningStats, MergeWithEmptyIsIdentity) {
   EXPECT_DOUBLE_EQ(a.mean(), mean);
   empty.merge(a);
   EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+// Property test: merging any partition of a sample stream equals a single
+// sequential pass. The parallel experiment runner aggregates per-trial
+// RunningStats with merge(), so this identity is load-bearing.
+TEST(RunningStats, MergeOverArbitrarySplitsEqualsSequentialAdd) {
+  Pcg32 rng(0xCAFEu);
+  for (int rep = 0; rep < 200; ++rep) {
+    const int n = 1 + rng.uniform_int(0, 300);
+    std::vector<double> xs(n);
+    double scale = std::pow(10.0, rng.uniform_int(-3, 3));
+    for (double& x : xs) x = rng.normal(rng.uniform(-5.0, 5.0), 1.0) * scale;
+
+    RunningStats seq;
+    for (double x : xs) seq.add(x);
+
+    // Random split into contiguous chunks, one RunningStats each, merged
+    // left to right.
+    RunningStats merged;
+    int i = 0;
+    while (i < n) {
+      int len = 1 + rng.uniform_int(0, n - i - 1);
+      RunningStats part;
+      for (int j = 0; j < len; ++j) part.add(xs[i++]);
+      merged.merge(part);
+    }
+
+    ASSERT_EQ(merged.count(), seq.count());
+    double tol = 1e-9 * std::max(1.0, std::abs(seq.mean()));
+    ASSERT_NEAR(merged.mean(), seq.mean(), tol);
+    double vtol = 1e-9 * std::max(1.0, seq.variance());
+    ASSERT_NEAR(merged.variance(), seq.variance(), vtol);
+    ASSERT_DOUBLE_EQ(merged.min(), seq.min());
+    ASSERT_DOUBLE_EQ(merged.max(), seq.max());
+  }
 }
 
 TEST(Ewma, FirstSampleSeeds) {
