@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cmath>
 #include <iostream>
+#include <memory>
 
 #include "bench/common.hpp"
 #include "core/controller.hpp"
@@ -20,6 +21,7 @@
 #include "core/scenarios.hpp"
 #include "exp/json.hpp"
 #include "exp/runner.hpp"
+#include "obs/trace.hpp"
 #include "phy/topology.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -60,6 +62,11 @@ int main() {
     specs.push_back(std::move(s));
   }
 
+  // DIMMER_TRACE=<path>: all trials share one JSONL sink; a per-trial
+  // TaggedSink labels each line with its scenario (the file sink is
+  // thread-safe, so lines interleave across workers but never tear).
+  std::unique_ptr<obs::TraceSink> trace = obs::sink_from_env();
+
   auto trial = [&](const exp::TrialSpec& spec, util::Pcg32&) {
     phy::Topology topo = phy::make_office18_topology();
     phy::InterferenceField field;
@@ -75,6 +82,11 @@ int main() {
     auto sources = bench::all_to_all_sources(topo);
 
     exp::TrialResult r;
+    std::unique_ptr<obs::TaggedSink> tagged;
+    if (trace)
+      tagged = std::make_unique<obs::TaggedSink>(trace.get(), "scenario",
+                                                 spec.scenario);
+    net.set_instrumentation({tagged.get(), &r.registry});
     util::RunningStats rel, radio, ntx;
     for (int rd = 0; rd < rounds; ++rd) {
       core::RoundStats rs = net.run_round(sources);

@@ -15,6 +15,7 @@
 #include "bench/common.hpp"
 #include "core/protocol.hpp"
 #include "core/scenarios.hpp"
+#include "obs/trace.hpp"
 #include "phy/topology.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -36,6 +37,14 @@ int main() {
   cfg.mab_calm_rounds = 0;  // SV-D: learning every round, DQN off
   core::DimmerNetwork net(topo, field, cfg,
                           std::make_unique<core::StaticController>(3), 0, 6);
+
+  // DIMMER_TRACE=<path>: per-round / per-flood / exp3 events as JSONL.
+  std::unique_ptr<obs::TraceSink> trace = obs::sink_from_env();
+  std::unique_ptr<obs::TaggedSink> tagged;
+  if (trace) {
+    tagged = std::make_unique<obs::TaggedSink>(trace.get(), "scenario", "mab");
+    net.set_instrumentation({tagged.get(), nullptr});
+  }
 
   std::cout << "Fig. 6: forwarder selection over "
             << rounds * 4 / 3600.0 << " hours (night, channel 26)\n\n";
@@ -68,6 +77,12 @@ int main() {
   ref_cfg.start_time = sim::hours(22);
   core::DimmerNetwork ref(topo, field, ref_cfg,
                           std::make_unique<core::StaticController>(3), 0, 6);
+  std::unique_ptr<obs::TaggedSink> ref_tagged;
+  if (trace) {
+    ref_tagged = std::make_unique<obs::TaggedSink>(trace.get(), "scenario",
+                                                   "all-forward");
+    ref.set_instrumentation({ref_tagged.get(), nullptr});
+  }
   util::RunningStats ref_rel, ref_radio;
   for (int r = 0; r < rounds; ++r) {
     core::RoundStats rs = ref.run_round(sources);

@@ -14,6 +14,8 @@
 #include "core/protocol.hpp"
 #include "core/scenarios.hpp"
 #include "flood/glossy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "phy/topology.hpp"
 #include "rl/exp3.hpp"
 #include "rl/mlp.hpp"
@@ -61,6 +63,27 @@ void BM_GlossyFlood(benchmark::State& state) {
 }
 BENCHMARK(BM_GlossyFlood)->Arg(1)->Arg(3)->Arg(8);
 
+// Same flood with observability attached: metrics registry only, and
+// metrics + ring-buffer trace. The delta against BM_GlossyFlood/3 is the
+// instrumentation overhead (the no-sink cost is a pointer check).
+void BM_GlossyFloodInstrumented(benchmark::State& state) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  flood::GlossyFlood engine(topo, field);
+  obs::MetricsRegistry metrics;
+  obs::RingBufferSink ring(1024);
+  const bool with_trace = state.range(0) != 0;
+  engine.set_instrumentation({with_trace ? &ring : nullptr, &metrics});
+  std::vector<flood::NodeFloodConfig> cfgs(
+      static_cast<std::size_t>(topo.size()), flood::NodeFloodConfig{3, true});
+  flood::FloodParams params;
+  util::Pcg32 rng(3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.run(0, cfgs, params, rng));
+  state.SetLabel(with_trace ? "metrics+trace" : "metrics");
+}
+BENCHMARK(BM_GlossyFloodInstrumented)->Arg(0)->Arg(1);
+
 void BM_LwbRound(benchmark::State& state) {
   phy::Topology topo = phy::make_office18_topology();
   phy::InterferenceField field;
@@ -84,6 +107,17 @@ void BM_Exp3Update(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Exp3Update);
+
+void BM_TraceEventJsonl(benchmark::State& state) {
+  obs::TraceEvent e;
+  e.kind = "flood";
+  e.round = 412;
+  e.t_us = 1648000;
+  e.node = 0;
+  e.f("receivers", 17).f("delivery_ratio", 0.94117647058823528).f("steps", 9);
+  for (auto _ : state) benchmark::DoNotOptimize(e.to_jsonl());
+}
+BENCHMARK(BM_TraceEventJsonl);
 
 }  // namespace
 

@@ -1,6 +1,7 @@
 #include "core/controller.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "util/check.hpp"
 
@@ -36,7 +37,34 @@ int DqnController::decide(const GlobalSnapshot& snapshot, bool round_lossless,
 
   last_features_ = features_.build(snapshot, current_n_tx, history_);
   auto action = static_cast<AdaptAction>(policy_.greedy_action(last_features_));
-  return apply_action(current_n_tx, action, features_.config().n_max);
+  int next_n_tx = apply_action(current_n_tx, action, features_.config().n_max);
+
+  ++decisions_;
+  if (instr_.metrics) {
+    obs::MetricsRegistry& m = *instr_.metrics;
+    m.counter("controller.decisions") += 1;
+    const char* names[] = {"controller.action_decrease",
+                           "controller.action_maintain",
+                           "controller.action_increase"};
+    m.counter(names[static_cast<int>(action)]) += 1;
+    m.gauge("controller.n_tx") = static_cast<double>(next_n_tx);
+  }
+  if (instr_.trace) {
+    // Q-values are recomputed in double precision purely for the trace; the
+    // decision above came from the fixed-point path either way.
+    std::vector<double> q = policy_.forward(last_features_);
+    obs::TraceEvent e;
+    e.kind = "controller";
+    e.round = decisions_ - 1;
+    e.f("action", static_cast<double>(action))
+        .f("n_tx", next_n_tx)
+        .f("prev_n_tx", current_n_tx)
+        .f("lossless", round_lossless ? 1.0 : 0.0);
+    for (std::size_t i = 0; i < q.size(); ++i)
+      e.f("q" + std::to_string(i), q[i]);
+    instr_.trace->emit(e);
+  }
+  return next_n_tx;
 }
 
 }  // namespace dimmer::core

@@ -3,12 +3,14 @@
 // (The PID baseline implements the same interface in src/baselines.)
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <vector>
 
 #include "core/features.hpp"
 #include "core/types.hpp"
+#include "obs/trace.hpp"
 #include "rl/quantized.hpp"
 
 namespace dimmer::core {
@@ -34,6 +36,10 @@ class AdaptivityController {
                      int current_n_tx) = 0;
 
   virtual const char* name() const = 0;
+
+  /// Optional observability hooks; default implementation ignores them so
+  /// controllers without interesting internals need not care.
+  virtual void set_instrumentation(obs::Instrumentation) {}
 };
 
 /// Always returns the same value (the paper's "static LWB, N_TX = 3").
@@ -56,6 +62,9 @@ class DqnController : public AdaptivityController {
   int decide(const GlobalSnapshot& snapshot, bool round_lossless,
              int current_n_tx) override;
   const char* name() const override { return "dqn"; }
+  void set_instrumentation(obs::Instrumentation instr) override {
+    instr_ = instr;
+  }
 
   /// Most recent input vector (diagnostics / tests).
   const std::vector<double>& last_features() const { return last_features_; }
@@ -66,6 +75,8 @@ class DqnController : public AdaptivityController {
   FeatureBuilder features_;
   std::deque<bool> history_;
   std::vector<double> last_features_;
+  obs::Instrumentation instr_;
+  std::uint64_t decisions_ = 0;
 };
 
 }  // namespace dimmer::core

@@ -73,18 +73,44 @@ void ForwarderSelection::end_round(double observed_reliability) {
 
   // Stability technique (b): punish network-breaking configurations by
   // reinitialising the passive arm.
-  if (observed_reliability <= cfg_.breaking_reliability &&
-      learner_arm_ == ForwarderArm::kPassive) {
+  const bool breaking_reset =
+      observed_reliability <= cfg_.breaking_reliability &&
+      learner_arm_ == ForwarderArm::kPassive;
+  if (breaking_reset) {
     bandit.reset_arm(static_cast<std::size_t>(ForwarderArm::kPassive));
     roles_[static_cast<std::size_t>(learner_)] = true;  // recover immediately
-    return;
-  }
-
-  // Between rounds of a turn the learner keeps its sampled role; once the
-  // turn ends the next begin_round will freeze it at its best arm.
-  if (rounds_into_turn_ >= cfg_.rounds_per_turn) {
+  } else if (rounds_into_turn_ >= cfg_.rounds_per_turn) {
+    // Between rounds of a turn the learner keeps its sampled role; once the
+    // turn ends the next begin_round will freeze it at its best arm.
     roles_[static_cast<std::size_t>(learner_)] =
         bandit.best_arm() == static_cast<std::size_t>(ForwarderArm::kActive);
+  }
+
+  ++learning_rounds_;
+  if (instr_.metrics) {
+    obs::MetricsRegistry& m = *instr_.metrics;
+    m.counter("mab.updates") += 1;
+    m.counter(learner_arm_ == ForwarderArm::kPassive ? "mab.passive_plays"
+                                                     : "mab.active_plays") += 1;
+    if (breaking_reset) m.counter("mab.breaking_resets") += 1;
+    m.gauge("mab.active_count") = static_cast<double>(active_count());
+  }
+  if (instr_.trace) {
+    obs::TraceEvent e;
+    e.kind = "exp3";
+    e.round = learning_rounds_ - 1;
+    e.node = learner_;
+    e.f("arm", static_cast<double>(learner_arm_))
+        .f("reward", reward)
+        .f("observed_reliability", observed_reliability)
+        .f("p_active",
+           bandit.probability(static_cast<std::size_t>(ForwarderArm::kActive)))
+        .f("p_passive",
+           bandit.probability(static_cast<std::size_t>(ForwarderArm::kPassive)))
+        .f("breaking_reset", breaking_reset ? 1.0 : 0.0)
+        .f("active_count", active_count())
+        .f("epoch", static_cast<double>(epoch_));
+    instr_.trace->emit(e);
   }
 }
 
@@ -97,6 +123,7 @@ void ForwarderSelection::apply_breaking_penalty(
     if (local_views[i] > cfg_.breaking_reliability) continue;
     bandits_[i].reset_arm(static_cast<std::size_t>(ForwarderArm::kPassive));
     roles_[i] = true;
+    if (instr_.metrics) instr_.metrics->counter("mab.penalty_resets") += 1;
   }
 }
 

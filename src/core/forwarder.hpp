@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "phy/topology.hpp"
 #include "rl/exp3.hpp"
 #include "util/rng.hpp"
@@ -71,6 +72,9 @@ class ForwarderSelection {
 
   const ForwarderConfig& config() const { return cfg_; }
 
+  /// Optional observability hooks (an "exp3" event per learning round).
+  void set_instrumentation(obs::Instrumentation instr) { instr_ = instr; }
+
  private:
   void advance_turn(util::Pcg32& rng);
   void reshuffle_order();
@@ -86,6 +90,8 @@ class ForwarderSelection {
   ForwarderArm learner_arm_ = ForwarderArm::kActive;
   bool round_open_ = false;
   std::uint64_t epoch_ = 0;
+  obs::Instrumentation instr_;
+  std::uint64_t learning_rounds_ = 0;
 };
 
 }  // namespace dimmer::core

@@ -55,6 +55,13 @@ DimmerNetwork::DimmerNetwork(const phy::Topology& topo,
     fs_.emplace(n, coordinator_, cfg_.forwarder);
 }
 
+void DimmerNetwork::set_instrumentation(obs::Instrumentation instr) {
+  instr_ = instr;
+  executor_.set_instrumentation(instr);
+  controller_->set_instrumentation(instr);
+  if (fs_.has_value()) fs_->set_instrumentation(instr);
+}
+
 phy::NodeId DimmerNetwork::sink() const {
   return cfg_.sink >= 0 ? cfg_.sink : coordinator_;
 }
@@ -132,6 +139,40 @@ RoundStats DimmerNetwork::run_round(const std::vector<phy::NodeId>& sources) {
     DIMMER_CHECK(next_n_tx_ >= 1 && next_n_tx_ <= cfg_.n_max);
   }
   calm_rounds_ = out.coordinator_lossless ? calm_rounds_ + 1 : 0;
+
+  if (instr_.metrics) {
+    obs::MetricsRegistry& m = *instr_.metrics;
+    m.counter("protocol.rounds") += 1;
+    if (out.mab_round) m.counter("protocol.mab_rounds") += 1;
+    if (!out.lossless) m.counter("protocol.lossy_rounds") += 1;
+    if (out.lossless != out.coordinator_lossless)
+      m.counter("protocol.loss_estimate_mismatches") += 1;
+    m.counter("protocol.desynced_node_rounds") +=
+        static_cast<std::uint64_t>(out.desynchronized);
+    m.histogram("protocol.reliability", {0.5, 0.9, 0.95, 0.99, 0.999})
+        .add(out.reliability);
+    m.histogram("protocol.radio_on_ms", {0.5, 1.0, 2.0, 5.0, 10.0, 20.0})
+        .add(out.radio_on_ms);
+  }
+  if (instr_.trace) {
+    obs::TraceEvent e;
+    e.kind = "round";
+    e.round = out.round;
+    e.t_us = out.start_us;
+    e.node = coordinator_;
+    e.f("n_tx", out.n_tx)
+        .f("next_n_tx", next_n_tx_)
+        .f("mab_round", out.mab_round ? 1.0 : 0.0)
+        .f("active_forwarders", out.active_forwarders)
+        .f("reliability", out.reliability)
+        .f("lossless", out.lossless ? 1.0 : 0.0)
+        .f("coordinator_lossless", out.coordinator_lossless ? 1.0 : 0.0)
+        .f("radio_on_ms", out.radio_on_ms)
+        .f("desynchronized", out.desynchronized)
+        .f("calm_rounds", calm_rounds_)
+        .tag("controller", controller_->name());
+    instr_.trace->emit(e);
+  }
 
   time_ += cfg_.round_period;
   ++round_idx_;

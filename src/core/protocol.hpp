@@ -105,6 +105,12 @@ class DimmerNetwork {
   /// header it heard.
   double local_reliability_view(phy::NodeId n) const;
 
+  /// Attaches observability hooks and propagates them down the stack
+  /// (round executor -> flood engine, controller, forwarder selection).
+  /// Purely observational: simulation results are identical with or
+  /// without a sink attached.
+  void set_instrumentation(obs::Instrumentation instr);
+
   /// Crash-fault injection: mark a node failed (radio permanently off) or
   /// recovered. The coordinator cannot be failed. Note that the coordinator
   /// cannot distinguish a crashed node from a jammed one: unless the node is
@@ -137,6 +143,7 @@ class DimmerNetwork {
   int calm_rounds_ = 0;
   // Learner's local view of the last executed round (for MAB end_round).
   std::vector<double> local_view_;
+  obs::Instrumentation instr_;
 };
 
 }  // namespace dimmer::core

@@ -181,6 +181,7 @@ std::vector<double> TraceEnv::reset(util::Pcg32& rng) {
   steps_taken_ = 0;
   history_.clear();
   history_.push_front(current_outcome().true_lossless);
+  if (instr_.metrics) instr_.metrics->counter("trace_env.episodes") += 1;
   return observe();
 }
 
@@ -211,6 +212,12 @@ TraceEnv::StepResult TraceEnv::step(int action) {
   out.state = observe();
   out.done = steps_taken_ >= cfg_.episode_len ||
              pos_ + 1 >= ds_->size();
+  if (instr_.metrics) {
+    obs::MetricsRegistry& m = *instr_.metrics;
+    m.counter("trace_env.steps") += 1;
+    if (!o.true_lossless) m.counter("trace_env.lossy_steps") += 1;
+    m.gauge("trace_env.n_tx") = static_cast<double>(n_tx_);
+  }
   return out;
 }
 
@@ -221,9 +228,11 @@ rl::Mlp train_dqn_on_traces(const TraceDataset& dataset,
                             TrainerConfig cfg) {
   DIMMER_REQUIRE(cfg.n_step >= 1, "n_step must be >= 1");
   TraceEnv env(dataset, env_cfg);
+  env.set_instrumentation(cfg.instrumentation);
   rl::DqnConfig dqn_cfg = cfg.dqn;
   dqn_cfg.architecture = {env.state_size(), 30, env.action_count()};
   rl::DqnAgent agent(dqn_cfg, util::hash_u64(cfg.seed, 0xD40ULL));
+  agent.set_instrumentation(cfg.instrumentation);
   util::Pcg32 rng(util::hash_u64(cfg.seed, 0xE47ULL));
 
   // n-step return assembly: emit the oldest pending (s, a) once its n

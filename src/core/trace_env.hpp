@@ -132,6 +132,10 @@ class TraceEnv {
   int current_n_tx() const { return n_tx_; }
   const TraceOutcome& current_outcome() const;
 
+  /// Optional observability hooks (episode/step counters; no per-step
+  /// events — the agent's "dqn_step" stream already covers those).
+  void set_instrumentation(obs::Instrumentation instr) { instr_ = instr; }
+
  private:
   std::vector<double> observe() const;
 
@@ -143,6 +147,7 @@ class TraceEnv {
   int n_tx_ = 3;
   int prev_n_tx_ = 3;  ///< parameter in effect one round earlier (lag model)
   std::deque<bool> history_;
+  obs::Instrumentation instr_;
 };
 
 /// Offline DQN training over a trace dataset (paper: 200 000 iterations,
@@ -155,6 +160,9 @@ struct TrainerConfig {
   /// waiting for value iteration to crawl through the chain.
   int n_step = 3;
   std::uint64_t seed = 42;
+  /// Optional observability hooks, forwarded to the agent and environment
+  /// (a "dqn_step" event per training step when a trace sink is attached).
+  obs::Instrumentation instrumentation;
 };
 
 rl::Mlp train_dqn_on_traces(const TraceDataset& dataset,

@@ -1,49 +1,25 @@
 #include "exp/json.hpp"
 
-#include <cmath>
-#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <ostream>
 #include <sstream>
 
+#include "exp/runner.hpp"
 #include "util/check.hpp"
+#include "util/json.hpp"
 
 namespace dimmer::exp {
 namespace {
 
-// %.17g round-trips every double exactly and is locale-independent for the
-// characters it emits, so serialization is deterministic across runs.
-std::string fmt(double v) {
-  if (std::isnan(v) || std::isinf(v)) return "null";
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
+// Shared deterministic serialization helpers (same ones obs:: uses, so the
+// bench JSON and the trace JSONL render numbers identically).
+using util::json_number;
+using util::json_quote;
 
-std::string quote(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
+std::string fmt(double v) { return json_number(v); }
+std::string quote(const std::string& s) { return json_quote(s); }
 
 void emit_stats(std::ostringstream& os, const util::RunningStats& s) {
   os << "{\"count\": " << s.count() << ", \"mean\": " << fmt(s.mean())
@@ -144,7 +120,14 @@ std::string to_json(const std::string& bench, const std::vector<Trial>& trials,
     }
     os << "}";
   }
-  os << "\n  }\n}\n";
+  os << "\n  }";
+
+  // Structured metrics merged across ok trials in spec order (bit-identical
+  // for any DIMMER_JOBS). Additive, optional key: absent when no trial
+  // recorded anything, so benches without instrumentation are unchanged.
+  obs::MetricsRegistry merged = merged_metrics(trials);
+  if (!merged.empty()) os << ",\n  \"metrics\": " << merged.to_json();
+  os << "\n}\n";
   return os.str();
 }
 

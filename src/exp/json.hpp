@@ -23,6 +23,11 @@
 //       "<scenario>": { "trials": n,
 //                       "metrics": {"<m>": {summary-across-trials}},
 //                       "stats":   {"<k>": {merge-across-trials}} }
+//     },
+//     "metrics": {                              // omitted when empty
+//       "counters":   {"<name>": n, ...},       // merged across ok trials in
+//       "gauges":     {"<name>": v, ...},       //   spec order (bit-identical
+//       "histograms": {"<name>": {...}, ...}    //   for any DIMMER_JOBS)
 //     }
 //   }
 //

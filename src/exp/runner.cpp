@@ -115,4 +115,11 @@ util::RunningStats metric_stats(const std::vector<Trial>& trials,
   return acc;
 }
 
+obs::MetricsRegistry merged_metrics(const std::vector<Trial>& trials) {
+  obs::MetricsRegistry merged;
+  for (const Trial& t : trials)
+    if (t.result.ok) merged.merge(t.result.registry);
+  return merged;
+}
+
 }  // namespace dimmer::exp

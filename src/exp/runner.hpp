@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -50,6 +51,11 @@ struct TrialResult {
   std::map<std::string, util::RunningStats> stats;
   /// Named trajectories (e.g. the N_TX time series).
   std::map<std::string, std::vector<double>> series;
+  /// Structured counters/gauges/histograms (see obs/metrics.hpp). Each trial
+  /// fills its own registry (point an obs::Instrumentation at it), and
+  /// merged_metrics() combines them in spec order after the pool drains, so
+  /// the merged registry is bit-identical for any DIMMER_JOBS value.
+  obs::MetricsRegistry registry;
   double wall_seconds = 0.0;
   bool ok = true;
   std::string error;
@@ -102,5 +108,9 @@ util::RunningStats merged_stat(const std::vector<Trial>& trials,
 util::RunningStats metric_stats(const std::vector<Trial>& trials,
                                 const std::string& scenario,
                                 const std::string& metric);
+
+/// Merge every ok trial's metrics registry, walking trials in spec order
+/// (deterministic regardless of how many workers ran the sweep).
+obs::MetricsRegistry merged_metrics(const std::vector<Trial>& trials);
 
 }  // namespace dimmer::exp

@@ -99,6 +99,11 @@ FloodResult GlossyFlood::run(phy::NodeId initiator,
   std::vector<phy::NodeId> transmitters;
   transmitters.reserve(static_cast<std::size_t>(n));
 
+  // Observability accumulators; only touched when a sink is attached.
+  const bool observed = instr_.active();
+  double exposure_sum = 0.0;
+  std::uint64_t exposure_n = 0;
+
   for (int t = 0; t < steps; ++t) {
     // 1. Who transmits at this step? Alternation: a node first involved at
     //    step f transmits at f+1, f+3, ... while budget remains.
@@ -155,6 +160,10 @@ FloodResult GlossyFlood::run(phy::NodeId initiator,
 
       phy::InterferenceSample interf =
           interf_->sample(t0, t1, params.channel, i, *topo_);
+      if (observed) {
+        exposure_sum += interf.exposure;
+        ++exposure_n;
+      }
       double sinr_clean_db =
           phy::mw_to_dbm(signal_mw) - phy::mw_to_dbm(noise_mw);
       double sinr_jam_db = phy::mw_to_dbm(signal_mw) -
@@ -191,7 +200,52 @@ FloodResult GlossyFlood::run(phy::NodeId initiator,
     r.radio_on_us = heard ? std::min<sim::TimeUs>(s.radio_on, params.slot_len_us)
                           : params.slot_len_us;
   }
+
+  if (observed) record(result, params, exposure_sum, exposure_n);
   return result;
+}
+
+void GlossyFlood::record(const FloodResult& result, const FloodParams& params,
+                         double exposure_sum,
+                         std::uint64_t exposure_n) const {
+  int transmissions = 0;
+  sim::TimeUs radio_on_total = 0;
+  for (std::size_t i = 0; i < result.nodes.size(); ++i) {
+    if (!result.participated_[i]) continue;
+    transmissions += result.nodes[i].transmissions;
+    radio_on_total += result.nodes[i].radio_on_us;
+  }
+  double mean_exposure =
+      exposure_n > 0 ? exposure_sum / static_cast<double>(exposure_n) : 0.0;
+
+  if (instr_.metrics) {
+    obs::MetricsRegistry& m = *instr_.metrics;
+    m.counter("flood.runs") += 1;
+    m.counter("flood.receivers") +=
+        static_cast<std::uint64_t>(result.receiver_count());
+    m.counter("flood.transmissions") += static_cast<std::uint64_t>(transmissions);
+    m.counter("flood.steps") +=
+        static_cast<std::uint64_t>(result.steps_simulated);
+    m.histogram("flood.radio_on_us", {1000, 2000, 5000, 10000, 20000})
+        .add(static_cast<double>(radio_on_total));
+    m.histogram("flood.exposure", {0.01, 0.05, 0.1, 0.25, 0.5, 0.75})
+        .add(mean_exposure);
+  }
+  if (instr_.trace) {
+    obs::TraceEvent e;
+    e.kind = "flood";
+    e.round = params.trace_round;
+    e.t_us = params.slot_start_us;
+    e.node = result.initiator;
+    e.f("receivers", result.receiver_count())
+        .f("delivery_ratio", result.delivery_ratio())
+        .f("steps", result.steps_simulated)
+        .f("transmissions", transmissions)
+        .f("radio_on_us", static_cast<double>(radio_on_total))
+        .f("exposure", mean_exposure)
+        .f("channel", params.channel);
+    instr_.trace->emit(e);
+  }
 }
 
 }  // namespace dimmer::flood

@@ -18,6 +18,9 @@
 
 #include <vector>
 
+#include <cstdint>
+
+#include "obs/trace.hpp"
 #include "phy/channels.hpp"
 #include "phy/interference.hpp"
 #include "phy/topology.hpp"
@@ -47,6 +50,9 @@ struct FloodParams {
   double coherence_gain = 0.5;
   /// Software turnaround between RX and TX (radio stays on).
   sim::TimeUs processing_us = 25;
+  /// Round index stamped on trace events (purely observational; the engine
+  /// itself is round-agnostic).
+  std::uint64_t trace_round = 0;
 };
 
 /// Per-node flood outcome.
@@ -91,9 +97,17 @@ class GlossyFlood {
                   const std::vector<NodeFloodConfig>& configs,
                   const FloodParams& params, util::Pcg32& rng) const;
 
+  /// Optional observability hooks (see obs/trace.hpp). Sinks never touch the
+  /// RNG stream or control flow, so results are identical with or without.
+  void set_instrumentation(obs::Instrumentation instr) { instr_ = instr; }
+
  private:
+  void record(const FloodResult& result, const FloodParams& params,
+              double exposure_sum, std::uint64_t exposure_n) const;
+
   const phy::Topology* topo_;
   const phy::InterferenceField* interf_;
+  obs::Instrumentation instr_;
 };
 
 }  // namespace dimmer::flood

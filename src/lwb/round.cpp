@@ -55,6 +55,7 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
   result.duration_us = round_duration(data_sources.size());
 
   flood::GlossyFlood engine(*topo_, *interf_);
+  engine.set_instrumentation(instr_);
 
   // --- Control slot: everyone listens (desynced nodes are trying to
   // re-bootstrap on the control channel anyway).
@@ -66,6 +67,7 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
     params.payload_bytes = cfg_.payload_bytes;
     params.tx_power_dbm = cfg_.tx_power_dbm;
     params.coherence_gain = cfg_.coherence_gain;
+    params.trace_round = round_index;
 
     std::vector<flood::NodeFloodConfig> cfgs(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
@@ -124,6 +126,7 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
       params.payload_bytes = cfg_.payload_bytes;
       params.tx_power_dbm = cfg_.tx_power_dbm;
       params.coherence_gain = cfg_.coherence_gain;
+      params.trace_round = round_index;
 
       std::vector<flood::NodeFloodConfig> cfgs(static_cast<std::size_t>(n));
       for (int i = 0; i < n; ++i) {
@@ -166,6 +169,40 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
     slot_start += cfg_.slot_len_us + cfg_.slot_gap_us;
   }
 
+  if (instr_.active()) {
+    int control_rx = 0, desynced = 0, silent = 0;
+    for (int i = 0; i < n; ++i) {
+      if (result.got_control[static_cast<std::size_t>(i)]) ++control_rx;
+      const auto& st = states[static_cast<std::size_t>(i)];
+      if (!st.failed && st.sync_age > cfg_.max_sync_age) ++desynced;
+    }
+    for (const auto& d : result.data)
+      if (!d.source_synced) ++silent;
+    if (instr_.metrics) {
+      obs::MetricsRegistry& m = *instr_.metrics;
+      m.counter("lwb.rounds") += 1;
+      m.counter("lwb.data_slots") += result.data.size();
+      m.counter("lwb.silent_slots") += static_cast<std::uint64_t>(silent);
+      m.counter("lwb.control_receptions") +=
+          static_cast<std::uint64_t>(control_rx);
+      m.counter("lwb.desynced_node_rounds") +=
+          static_cast<std::uint64_t>(desynced);
+    }
+    if (instr_.trace) {
+      obs::TraceEvent e;
+      e.kind = "lwb_round";
+      e.round = round_index;
+      e.t_us = start;
+      e.node = coordinator;
+      e.f("data_slots", static_cast<double>(result.data.size()))
+          .f("silent_slots", silent)
+          .f("control_receptions", control_rx)
+          .f("desynced_nodes", desynced)
+          .f("n_tx", next_n_tx)
+          .f("duration_us", static_cast<double>(result.duration_us));
+      instr_.trace->emit(e);
+    }
+  }
   return result;
 }
 

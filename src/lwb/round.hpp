@@ -98,10 +98,15 @@ class RoundExecutor {
   /// Total on-air duration of a round with `n_data_slots` data slots.
   sim::TimeUs round_duration(std::size_t n_data_slots) const;
 
+  /// Optional observability hooks; forwarded to the flood engine for every
+  /// slot. Purely observational — results are identical with or without.
+  void set_instrumentation(obs::Instrumentation instr) { instr_ = instr; }
+
  private:
   const phy::Topology* topo_;
   const phy::InterferenceField* interf_;
   RoundConfig cfg_;
+  obs::Instrumentation instr_;
 };
 
 }  // namespace dimmer::lwb

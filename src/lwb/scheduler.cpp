@@ -51,6 +51,25 @@ std::vector<phy::NodeId> Scheduler::schedule_round(sim::TimeUs now,
     slots.push_back(streams_[i].source);
     streams_[i].next_due += streams_[i].ipi;
   }
+
+  ++schedule_calls_;
+  if (instr_.metrics) {
+    obs::MetricsRegistry& m = *instr_.metrics;
+    m.counter("scheduler.calls") += 1;
+    m.counter("scheduler.slots_allocated") += slots.size();
+    m.counter("scheduler.slots_carried_over") += due.size() - slots.size();
+  }
+  if (instr_.trace) {
+    obs::TraceEvent e;
+    e.kind = "schedule";
+    e.round = schedule_calls_ - 1;
+    e.t_us = now;
+    e.f("due_streams", static_cast<double>(due.size()))
+        .f("allocated", static_cast<double>(slots.size()))
+        .f("carried_over", static_cast<double>(due.size() - slots.size()))
+        .f("live_streams", static_cast<double>(stream_count()));
+    instr_.trace->emit(e);
+  }
   return slots;
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "phy/topology.hpp"
 #include "sim/time.hpp"
 
@@ -45,9 +46,14 @@ class Scheduler {
   /// the round period when nothing is due, LWB's energy lever.
   sim::TimeUs next_deadline() const;
 
+  /// Optional observability hooks (a "schedule" event per schedule_round).
+  void set_instrumentation(obs::Instrumentation instr) { instr_ = instr; }
+
  private:
   std::vector<Stream> streams_;
   std::vector<bool> live_;
+  obs::Instrumentation instr_;
+  std::uint64_t schedule_calls_ = 0;
 };
 
 }  // namespace dimmer::lwb

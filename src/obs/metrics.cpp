@@ -1,0 +1,134 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace dimmer::obs {
+
+void Histogram::add(double v) {
+  DIMMER_CHECK(counts.size() == upper_bounds.size() + 1);
+  // First bucket whose upper bound contains v; the overflow bucket otherwise.
+  std::size_t b = static_cast<std::size_t>(
+      std::lower_bound(upper_bounds.begin(), upper_bounds.end(), v) -
+      upper_bounds.begin());
+  ++counts[b];
+  ++count;
+  sum += v;
+  min = std::min(min, v);
+  max = std::max(max, v);
+}
+
+void Histogram::merge(const Histogram& o) {
+  if (o.count == 0 && o.upper_bounds.empty()) return;
+  if (upper_bounds.empty() && count == 0) {
+    *this = o;
+    return;
+  }
+  DIMMER_REQUIRE(upper_bounds == o.upper_bounds,
+                 "histogram merge with mismatched bucket bounds");
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += o.counts[i];
+  count += o.count;
+  sum += o.sum;
+  min = std::min(min, o.min);
+  max = std::max(max, o.max);
+}
+
+std::uint64_t& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+double& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(
+    const std::string& name, const std::vector<double>& upper_bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    DIMMER_REQUIRE(!upper_bounds.empty(),
+                   "histogram bucket bounds required on first use");
+    DIMMER_REQUIRE(
+        std::is_sorted(upper_bounds.begin(), upper_bounds.end()) &&
+            std::adjacent_find(upper_bounds.begin(), upper_bounds.end()) ==
+                upper_bounds.end(),
+        "histogram bucket bounds must be strictly ascending");
+    Histogram h;
+    h.upper_bounds = upper_bounds;
+    h.counts.assign(upper_bounds.size() + 1, 0);
+    it = histograms_.emplace(name, std::move(h)).first;
+  } else if (!upper_bounds.empty()) {
+    DIMMER_REQUIRE(it->second.upper_bounds == upper_bounds,
+                   "histogram re-registered with different bucket bounds");
+  }
+  return it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& o) {
+  for (const auto& [k, v] : o.counters_) counters_[k] += v;
+  for (const auto& [k, v] : o.gauges_) gauges_[k] = v;
+  for (const auto& [k, h] : o.histograms_) {
+    auto it = histograms_.find(k);
+    if (it == histograms_.end())
+      histograms_.emplace(k, h);
+    else
+      it->second.merge(h);
+  }
+}
+
+namespace {
+template <typename Map, typename EmitValue>
+void emit_object(std::ostringstream& os, const Map& m, EmitValue&& ev) {
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) os << ", ";
+    first = false;
+    os << util::json_quote(k) << ": ";
+    ev(v);
+  }
+  os << "}";
+}
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  auto section = [&](const char* name) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << name << "\": ";
+  };
+  if (!counters_.empty()) {
+    section("counters");
+    emit_object(os, counters_, [&](std::uint64_t v) { os << v; });
+  }
+  if (!gauges_.empty()) {
+    section("gauges");
+    emit_object(os, gauges_, [&](double v) { os << util::json_number(v); });
+  }
+  if (!histograms_.empty()) {
+    section("histograms");
+    emit_object(os, histograms_, [&](const Histogram& h) {
+      os << "{\"upper_bounds\": [";
+      for (std::size_t i = 0; i < h.upper_bounds.size(); ++i)
+        os << (i ? ", " : "") << util::json_number(h.upper_bounds[i]);
+      os << "], \"counts\": [";
+      for (std::size_t i = 0; i < h.counts.size(); ++i)
+        os << (i ? ", " : "") << h.counts[i];
+      os << "], \"count\": " << h.count
+         << ", \"sum\": " << util::json_number(h.sum);
+      if (h.count > 0)
+        os << ", \"min\": " << util::json_number(h.min)
+           << ", \"max\": " << util::json_number(h.max);
+      os << "}";
+    });
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace dimmer::obs

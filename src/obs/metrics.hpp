@@ -1,0 +1,90 @@
+// Lightweight metrics for the simulator's hot paths.
+//
+// A MetricsRegistry is a named collection of counters, gauges, and
+// fixed-bucket histograms, designed to ride along the share-nothing
+// experiment runner:
+//
+//  - single-threaded by design: each exp::Runner trial owns its own registry
+//    (inside its TrialResult), and registries are merged after the worker
+//    pool drains, walking trials in spec order — so the merged result is
+//    bit-identical for any DIMMER_JOBS value or thread schedule;
+//  - counter()/gauge()/histogram() return references to map nodes, which are
+//    stable for the registry's lifetime (and survive moves of the registry),
+//    so a hot loop can resolve a name once and bump a plain integer after;
+//  - serialization is deterministic: std::map iteration order plus
+//    util::json_number's "%.17g".
+//
+// Merge semantics: counters add, histograms add bucket-wise (bucket bounds
+// must match), gauges are overwritten by the merged-in registry ("last
+// writer wins" — deterministic because merges happen in spec order).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dimmer::obs {
+
+/// Fixed-bucket histogram: `upper_bounds` are the inclusive upper edges of
+/// the finite buckets (ascending); one implicit overflow bucket catches
+/// everything above the last bound. Tracks count/sum/min/max alongside.
+struct Histogram {
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> counts;  ///< upper_bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void add(double v);
+
+  /// Bucket-wise addition; `o` must have identical bounds (or be empty).
+  void merge(const Histogram& o);
+};
+
+class MetricsRegistry {
+ public:
+  /// Named monotonic counter; creates it at 0 on first use.
+  std::uint64_t& counter(const std::string& name);
+
+  /// Named last-value gauge; creates it at 0.0 on first use.
+  double& gauge(const std::string& name);
+
+  /// Named histogram. On first use the bucket upper bounds are installed
+  /// (must be non-empty and strictly ascending); later calls must pass the
+  /// same bounds (or an empty vector to mean "whatever was installed").
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& upper_bounds);
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Fold `o` into this registry (see merge semantics in the header
+  /// comment). Deterministic as long as merges happen in a fixed order.
+  void merge(const MetricsRegistry& o);
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// One deterministic JSON object:
+  ///   {"counters": {...}, "gauges": {...},
+  ///    "histograms": {"<name>": {"upper_bounds": [...], "counts": [...],
+  ///                              "count": n, "sum": s, "min": m, "max": M}}}
+  /// Sections are omitted when empty; an entirely empty registry is "{}".
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace dimmer::obs

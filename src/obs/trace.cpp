@@ -1,0 +1,102 @@
+#include "obs/trace.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace dimmer::obs {
+
+std::string TraceEvent::to_jsonl() const {
+  std::ostringstream os;
+  os << "{\"event\": " << util::json_quote(kind) << ", \"round\": " << round
+     << ", \"t_us\": " << t_us << ", \"node\": " << node;
+  if (!fields.empty()) {
+    os << ", \"fields\": {";
+    for (std::size_t i = 0; i < fields.size(); ++i)
+      os << (i ? ", " : "") << util::json_quote(fields[i].first) << ": "
+         << util::json_number(fields[i].second);
+    os << "}";
+  }
+  if (!tags.empty()) {
+    os << ", \"tags\": {";
+    for (std::size_t i = 0; i < tags.size(); ++i)
+      os << (i ? ", " : "") << util::json_quote(tags[i].first) << ": "
+         << util::json_quote(tags[i].second);
+    os << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+// ---- RingBufferSink --------------------------------------------------------
+
+RingBufferSink::RingBufferSink(std::size_t capacity) : cap_(capacity) {
+  DIMMER_REQUIRE(capacity > 0, "ring buffer capacity must be positive");
+  buf_.reserve(capacity);
+}
+
+void RingBufferSink::emit(const TraceEvent& e) {
+  ++total_;
+  if (buf_.size() < cap_) {
+    buf_.push_back(e);
+    return;
+  }
+  buf_[head_] = e;
+  head_ = (head_ + 1) % cap_;
+}
+
+std::vector<TraceEvent> RingBufferSink::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(buf_.size());
+  for (std::size_t i = 0; i < buf_.size(); ++i)
+    out.push_back(buf_[(head_ + i) % buf_.size()]);
+  return out;
+}
+
+void RingBufferSink::clear() {
+  buf_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+// ---- JsonlFileSink ---------------------------------------------------------
+
+JsonlFileSink::JsonlFileSink(const std::string& path)
+    : path_(path), out_(path, std::ios::out | std::ios::trunc) {
+  DIMMER_REQUIRE(out_.good(), "cannot open trace file for writing: " + path);
+}
+
+void JsonlFileSink::emit(const TraceEvent& e) {
+  // Serialize outside the lock; only the write itself is serialized so that
+  // parallel trials sharing this sink never tear a line.
+  std::string line = e.to_jsonl();
+  line += '\n';
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line;
+  ++lines_;
+}
+
+// ---- TaggedSink ------------------------------------------------------------
+
+TaggedSink::TaggedSink(TraceSink* parent, std::string key, std::string value)
+    : parent_(parent), key_(std::move(key)), value_(std::move(value)) {
+  DIMMER_REQUIRE(parent != nullptr, "TaggedSink needs a parent sink");
+}
+
+void TaggedSink::emit(const TraceEvent& e) {
+  TraceEvent tagged = e;
+  tagged.tag(key_, value_);
+  parent_->emit(tagged);
+}
+
+// ---- Environment wiring ----------------------------------------------------
+
+std::unique_ptr<TraceSink> sink_from_env() {
+  const char* path = std::getenv("DIMMER_TRACE");
+  if (!path || !*path) return nullptr;
+  return std::make_unique<JsonlFileSink>(path);
+}
+
+}  // namespace dimmer::obs

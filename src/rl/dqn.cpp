@@ -52,9 +52,35 @@ std::vector<double> DqnAgent::q_values(const std::vector<double>& state) const {
 void DqnAgent::observe(Transition t, util::Pcg32& rng) {
   DIMMER_REQUIRE(t.action >= 0 && t.action < online_.output_size(),
                  "action out of range");
+  // Capture trace fields before the transition is moved into the buffer.
+  const int action = t.action;
+  const double reward = t.reward;
+  const bool done = t.done;
   replay_.push(std::move(t));
   ++env_steps_;
+  const std::size_t trained_before = train_steps_;
   if (replay_.size() >= cfg_.min_replay_before_training) train_step(rng);
+
+  if (instr_.metrics) {
+    obs::MetricsRegistry& m = *instr_.metrics;
+    m.counter("dqn.observations") += 1;
+    m.counter("dqn.train_steps") += train_steps_ - trained_before;
+    m.gauge("dqn.epsilon") = epsilon();
+    m.gauge("dqn.recent_loss") = recent_loss_;
+  }
+  if (instr_.trace) {
+    obs::TraceEvent e;
+    e.kind = "dqn_step";
+    e.round = env_steps_ - 1;
+    e.f("action", action)
+        .f("reward", reward)
+        .f("done", done ? 1.0 : 0.0)
+        .f("epsilon", epsilon())
+        .f("recent_loss", recent_loss_)
+        .f("replay_size", static_cast<double>(replay_.size()))
+        .f("train_steps", static_cast<double>(train_steps_));
+    instr_.trace->emit(e);
+  }
 }
 
 void DqnAgent::train_step(util::Pcg32& rng) {

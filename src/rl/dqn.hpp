@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "rl/mlp.hpp"
 #include "rl/replay.hpp"
 #include "util/rng.hpp"
@@ -65,6 +66,11 @@ class DqnAgent {
   /// Mean TD loss over recent training steps (diagnostics).
   double recent_loss() const { return recent_loss_; }
 
+  /// Optional observability hooks (a "dqn_step" event per observe()).
+  /// Sinks never draw from the RNG, so learning is identical with or
+  /// without instrumentation.
+  void set_instrumentation(obs::Instrumentation instr) { instr_ = instr; }
+
  private:
   void train_step(util::Pcg32& rng);
 
@@ -77,6 +83,7 @@ class DqnAgent {
   std::size_t env_steps_ = 0;
   std::size_t train_steps_ = 0;
   double recent_loss_ = 0.0;
+  obs::Instrumentation instr_;
 };
 
 }  // namespace dimmer::rl

@@ -1,5 +1,6 @@
 #include "rl/exp3.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.hpp"
@@ -8,10 +9,21 @@ namespace dimmer::rl {
 
 namespace {
 constexpr double kInitialWeight = 1.0;
-// Renormalise when weights drift beyond these bounds to avoid overflow in
-// long runs; Exp3's probabilities are scale-invariant.
+// Renormalise when the largest weight drifts past this bound; Exp3's
+// probabilities are scale-invariant, so rescaling is free.
 constexpr double kMaxWeight = 1e100;
-constexpr double kMinTotal = 1e-100;
+// Floor applied when rescaling. Without it, repeated renormalisations flush
+// a long-losing arm's weight to exactly 0.0 (1e-100 -> 1e-200 -> ... -> 0),
+// and the multiplicative update can never resurrect a zero weight: the arm
+// is dead for the rest of the run even if it becomes the best one. A floor
+// of 1e-100 is far below anything the gamma/K exploration term can tell
+// apart, so probabilities are unaffected, but the arm stays recoverable.
+constexpr double kMinWeight = 1e-100;
+// The update exponent is gamma * r / (K * p) with p >= gamma / K, hence
+// bounded by the reward r <= 1. The clamp is defence in depth (it keeps the
+// weight finite even if the floor or reward validation ever regresses); it
+// never binds on valid inputs, so it cannot perturb results.
+constexpr double kMaxExponent = 200.0;
 }  // namespace
 
 Exp3::Exp3(std::size_t arms, double gamma) : gamma_(gamma) {
@@ -20,9 +32,14 @@ Exp3::Exp3(std::size_t arms, double gamma) : gamma_(gamma) {
   weights_.assign(arms, kInitialWeight);
 }
 
-std::vector<double> Exp3::probabilities() const {
+double Exp3::total_weight() const {
   double total = 0.0;
   for (double w : weights_) total += w;
+  return total;
+}
+
+std::vector<double> Exp3::probabilities() const {
+  double total = total_weight();
   std::vector<double> p(weights_.size());
   double k = static_cast<double>(weights_.size());
   for (std::size_t i = 0; i < p.size(); ++i)
@@ -32,18 +49,21 @@ std::vector<double> Exp3::probabilities() const {
 
 double Exp3::probability(std::size_t arm) const {
   DIMMER_REQUIRE(arm < weights_.size(), "arm out of range");
-  return probabilities()[arm];
+  double total = total_weight();
+  double k = static_cast<double>(weights_.size());
+  return (1.0 - gamma_) * weights_[arm] / total + gamma_ / k;
 }
 
 std::size_t Exp3::sample(util::Pcg32& rng) const {
-  std::vector<double> p = probabilities();
+  double total = total_weight();
+  double k = static_cast<double>(weights_.size());
   double u = rng.uniform();
   double acc = 0.0;
-  for (std::size_t i = 0; i < p.size(); ++i) {
-    acc += p[i];
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    acc += (1.0 - gamma_) * weights_[i] / total + gamma_ / k;
     if (u < acc) return i;
   }
-  return p.size() - 1;  // floating-point slack
+  return weights_.size() - 1;  // floating-point slack
 }
 
 std::size_t Exp3::best_arm() const {
@@ -59,7 +79,9 @@ void Exp3::update(std::size_t arm, double reward) {
   double p = probability(arm);
   double r_hat = reward / p;  // importance-weighted reward
   double k = static_cast<double>(weights_.size());
-  weights_[arm] *= std::exp(gamma_ * r_hat / k);
+  double exponent = std::min(gamma_ * r_hat / k, kMaxExponent);
+  weights_[arm] *= std::exp(exponent);
+  DIMMER_CHECK(std::isfinite(weights_[arm]) && weights_[arm] > 0.0);
   normalise_if_needed();
 }
 
@@ -69,14 +91,11 @@ void Exp3::reset_arm(std::size_t arm) {
 }
 
 void Exp3::normalise_if_needed() {
-  double total = 0.0, maxw = 0.0;
-  for (double w : weights_) {
-    total += w;
-    maxw = std::max(maxw, w);
-  }
-  if (maxw > kMaxWeight || total < kMinTotal) {
-    for (double& w : weights_) w /= maxw;
-  }
+  double maxw = 0.0;
+  for (double w : weights_) maxw = std::max(maxw, w);
+  if (maxw <= kMaxWeight) return;
+  // Rescale so the largest weight is 1, flooring the rest (see kMinWeight).
+  for (double& w : weights_) w = std::max(w / maxw, kMinWeight);
 }
 
 }  // namespace dimmer::rl

@@ -27,10 +27,14 @@ class Exp3 {
   /// Current action distribution (Eq. 2); sums to 1.
   std::vector<double> probabilities() const;
 
-  /// Probability of a single arm.
+  /// Probability of a single arm. Allocation-free (called on the hot path
+  /// by update()); exactly equal to probabilities()[arm].
   double probability(std::size_t arm) const;
 
-  /// Sample an arm from the current distribution.
+  /// Sample an arm from the current distribution. Allocation-free; draws
+  /// exactly one uniform from `rng` and walks the same per-arm probability
+  /// expression as probabilities(), so the sampling sequence for a fixed
+  /// seed is identical to materialising the distribution first.
   std::size_t sample(util::Pcg32& rng) const;
 
   /// Most probable arm (deployment-time role outside a learning turn).
@@ -46,6 +50,7 @@ class Exp3 {
   const std::vector<double>& weights() const { return weights_; }
 
  private:
+  double total_weight() const;
   void normalise_if_needed();
 
   double gamma_;

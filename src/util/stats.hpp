@@ -116,16 +116,25 @@ class WindowMean {
 };
 
 /// Percentile (linear interpolation) of an unsorted sample; p in [0,100].
+/// Selects the two neighbouring order statistics with nth_element instead of
+/// sorting the whole sample: O(n) expected instead of O(n log n), with
+/// bit-identical results (the same two order statistics feed the same
+/// interpolation expression).
 inline double percentile(std::vector<double> v, double p) {
   DIMMER_REQUIRE(!v.empty(), "percentile of empty sample");
   DIMMER_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]");
-  std::sort(v.begin(), v.end());
   if (v.size() == 1) return v[0];
   double idx = p / 100.0 * static_cast<double>(v.size() - 1);
   auto lo = static_cast<std::size_t>(idx);
   std::size_t hi = std::min(lo + 1, v.size() - 1);
   double frac = idx - static_cast<double>(lo);
-  return v[lo] * (1.0 - frac) + v[hi] * frac;
+  auto lo_it = v.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(v.begin(), lo_it, v.end());
+  double v_lo = *lo_it;
+  // Everything right of lo_it is >= v_lo, so the (lo+1)-th order statistic
+  // is the minimum of that suffix.
+  double v_hi = (hi == lo) ? v_lo : *std::min_element(lo_it + 1, v.end());
+  return v_lo * (1.0 - frac) + v_hi * frac;
 }
 
 }  // namespace dimmer::util

@@ -76,6 +76,40 @@ TEST(Json, DoublesRoundTripExactly) {
   EXPECT_EQ(back, v);
 }
 
+// The merged registry section sits at top level (two-space indent); the
+// pre-existing per-trial "metrics" maps are indented deeper and unaffected.
+constexpr const char* kTopLevelMetrics = "\n  \"metrics\": {";
+
+TEST(Json, MetricsSectionOmittedWhenNoRegistryData) {
+  std::string s = to_json("x", sample_trials());
+  EXPECT_EQ(s.find(kTopLevelMetrics), std::string::npos);
+  EXPECT_NE(s.find("\"schema_version\": 1"), std::string::npos);
+}
+
+TEST(Json, MetricsSectionMergesTrialRegistries) {
+  std::vector<Trial> trials = sample_trials();
+  trials[0].result.registry.counter("flood.runs") += 30;
+  trials[0].result.registry.histogram("protocol.reliability", {0.9, 0.99})
+      .add(0.95);
+
+  std::vector<Trial> more(1);
+  more[0].spec.scenario = "dimmer@30%";
+  more[0].result.registry.counter("flood.runs") += 12;
+  more[0].result.registry.histogram("protocol.reliability", {0.9, 0.99})
+      .add(1.0);
+  trials.push_back(more[0]);
+
+  std::string s = to_json("x", trials, {.include_timing = false});
+  EXPECT_NE(s.find(kTopLevelMetrics), std::string::npos);
+  EXPECT_NE(s.find("\"flood.runs\": 42"), std::string::npos);  // 30 + 12
+  EXPECT_NE(s.find("\"protocol.reliability\""), std::string::npos);
+
+  // Failed trials contribute no metrics.
+  trials[1].result.registry.counter("flood.runs") += 1000;
+  std::string s2 = to_json("x", trials, {.include_timing = false});
+  EXPECT_NE(s2.find("\"flood.runs\": 42"), std::string::npos);
+}
+
 TEST(Json, WriteJsonHonoursOutputDirEnv) {
   ASSERT_EQ(setenv("DIMMER_BENCH_OUT", "/tmp", 1), 0);
   EXPECT_EQ(output_path("unit"), "/tmp/BENCH_unit.json");

@@ -128,6 +128,59 @@ TEST(GlossyFlood, UnreachedNodeListensWholeSlot) {
   EXPECT_EQ(r.nodes[2].radio_on_us, params.slot_len_us);
 }
 
+TEST(GlossyFlood, GoldenRadioOnAccountingOnThreeHopLine) {
+  // Golden accounting on a 3-node line where each node only reaches its
+  // neighbour (15 m spacing, clean channel, N_TX = 1). The timeline is fully
+  // determined — every reception has p_ok ~ 1 over its single hop:
+  //   step 0: node 0 transmits; node 1 receives (step length 1177 us).
+  //   step 1: node 1 relays; node 2 receives; node 0 is done (budget spent).
+  //   step 2: node 2 relays into silence and finishes.
+  // Radio-on is charged per step the radio is up: 1 step for node 0, 2 for
+  // node 1, 3 for node 2.
+  phy::Topology topo = phy::make_line_topology(3, 15.0);
+  phy::InterferenceField field;
+  GlossyFlood engine(topo, field);
+  FloodParams params;  // 30 B payload -> 1152 us airtime + 25 us turnaround
+
+  for (std::uint64_t seed : {1u, 7u, 1234u}) {
+    util::Pcg32 rng(seed);
+    FloodResult r = engine.run(0, uniform_configs(3, 1), params, rng);
+    EXPECT_EQ(r.steps_simulated, 3);
+    EXPECT_EQ(r.nodes[0].radio_on_us, 1177);
+    EXPECT_EQ(r.nodes[1].radio_on_us, 2354);
+    EXPECT_EQ(r.nodes[2].radio_on_us, 3531);
+    EXPECT_EQ(r.nodes[1].first_rx_step, 0);
+    EXPECT_EQ(r.nodes[2].first_rx_step, 1);
+    for (const auto& node : r.nodes) {
+      EXPECT_TRUE(node.received);
+      EXPECT_EQ(node.transmissions, 1);
+    }
+  }
+}
+
+TEST(GlossyFlood, FullResultDeterministicUnderJamming) {
+  // Same RNG state -> identical FloodResult in every field, including under
+  // interference where each reception consumes fading + bernoulli draws.
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  dimmer::core::add_static_jamming(field, topo, 0.3);
+  GlossyFlood engine(topo, field);
+  FloodParams params;
+  params.slot_start_us = sim::seconds(9);  // mid-burst phase
+  util::Pcg32 a(77), b(77);
+  FloodResult ra = engine.run(4, uniform_configs(18, 2), params, a);
+  FloodResult rb = engine.run(4, uniform_configs(18, 2), params, b);
+  EXPECT_EQ(ra.steps_simulated, rb.steps_simulated);
+  EXPECT_EQ(ra.initiator, rb.initiator);
+  for (int i = 0; i < 18; ++i) {
+    EXPECT_EQ(ra.nodes[i].received, rb.nodes[i].received);
+    EXPECT_EQ(ra.nodes[i].first_rx_step, rb.nodes[i].first_rx_step);
+    EXPECT_EQ(ra.nodes[i].transmissions, rb.nodes[i].transmissions);
+    EXPECT_EQ(ra.nodes[i].radio_on_us, rb.nodes[i].radio_on_us);
+  }
+  EXPECT_EQ(a.next_u32(), b.next_u32());  // streams fully consumed in lockstep
+}
+
 TEST(GlossyFlood, DeterministicGivenRngState) {
   phy::Topology topo = phy::make_office18_topology();
   phy::InterferenceField field;

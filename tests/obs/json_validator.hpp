@@ -1,0 +1,135 @@
+// Minimal recursive-descent JSON validator for the obs tests: enough of
+// RFC 8259 to verify that every emitted trace line / metrics blob parses,
+// without pulling a JSON dependency into the repo.
+#pragma once
+
+#include <cctype>
+#include <string>
+
+namespace dimmer::test {
+
+class JsonValidator {
+ public:
+  /// True iff `text` is exactly one valid JSON value (plus whitespace).
+  static bool valid(const std::string& text) {
+    JsonValidator v(text);
+    v.skip_ws();
+    if (!v.value()) return false;
+    v.skip_ws();
+    return v.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonValidator(const std::string& t) : t_(t) {}
+
+  const std::string& t_;
+  std::size_t pos_ = 0;
+
+  bool eof() const { return pos_ >= t_.size(); }
+  char peek() const { return t_[pos_]; }
+  bool eat(char c) {
+    if (eof() || t_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r'))
+      ++pos_;
+  }
+  bool literal(const char* s) {
+    std::size_t n = std::char_traits<char>::length(s);
+    if (t_.compare(pos_, n, s) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool value() {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (!eof()) {
+      char c = t_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (eof()) return false;
+        char e = t_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i)
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(t_[pos_++])))
+              return false;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool number() {
+    std::size_t start = pos_;
+    eat('-');
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    if (!eat('0'))
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+};
+
+}  // namespace dimmer::test

@@ -1,0 +1,136 @@
+// MetricsRegistry: counters, gauges, fixed-bucket histograms, and the
+// spec-order merge the exp::Runner relies on for DIMMER_JOBS determinism.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace dimmer::obs {
+namespace {
+
+TEST(Histogram, BucketsPartitionTheRealLine) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("x", {1.0, 2.0, 5.0});
+  ASSERT_EQ(h.counts.size(), 4u);  // 3 bounds + overflow
+
+  h.add(0.5);   // <= 1.0
+  h.add(1.0);   // <= 1.0 (bounds are inclusive upper edges)
+  h.add(1.5);   // <= 2.0
+  h.add(5.0);   // <= 5.0
+  h.add(99.0);  // overflow
+
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.counts[3], 1u);
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_DOUBLE_EQ(h.sum, 0.5 + 1.0 + 1.5 + 5.0 + 99.0);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 99.0);
+}
+
+TEST(Histogram, MergeAddsBucketwise) {
+  MetricsRegistry a, b;
+  a.histogram("x", {1.0, 2.0}).add(0.5);
+  b.histogram("x", {1.0, 2.0}).add(1.5);
+  b.histogram("x", {1.0, 2.0}).add(10.0);
+
+  a.merge(b);
+  const Histogram& h = a.histograms().at("x");
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 10.0);
+}
+
+TEST(Histogram, MergeRejectsMismatchedBounds) {
+  Histogram a, b;
+  a.upper_bounds = {1.0};
+  a.counts = {0, 0};
+  b.upper_bounds = {2.0};
+  b.counts = {1, 0};
+  b.count = 1;
+  EXPECT_THROW(a.merge(b), util::RequireError);
+}
+
+TEST(MetricsRegistry, CountersAndGaugesAreReferences) {
+  MetricsRegistry reg;
+  reg.counter("floods") += 3;
+  reg.counter("floods") += 2;
+  reg.gauge("epsilon") = 0.25;
+  reg.gauge("epsilon") = 0.10;  // last write wins
+
+  EXPECT_EQ(reg.counters().at("floods"), 5u);
+  EXPECT_DOUBLE_EQ(reg.gauges().at("epsilon"), 0.10);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(MetricsRegistry, EmptyUntilFirstWrite) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.counter("x");
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(MetricsRegistry, HistogramBoundsValidated) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("no_bounds", {}), util::RequireError);
+  EXPECT_THROW(reg.histogram("descending", {2.0, 1.0}), util::RequireError);
+  EXPECT_THROW(reg.histogram("duplicate", {1.0, 1.0}), util::RequireError);
+
+  reg.histogram("ok", {1.0, 2.0});
+  // Re-registering with the same bounds, or with no bounds, is fine...
+  reg.histogram("ok", {1.0, 2.0}).add(0.5);
+  reg.histogram("ok", {}).add(1.5);
+  // ...but different bounds are a bug.
+  EXPECT_THROW(reg.histogram("ok", {3.0}), util::RequireError);
+}
+
+TEST(MetricsRegistry, MergeMatchesSequentialAccumulation) {
+  // Simulates the runner: per-trial registries merged in spec order must
+  // equal one registry that saw everything in the same order.
+  MetricsRegistry t1, t2, sequential;
+  t1.counter("rounds") += 10;
+  t1.gauge("n_tx") = 3.0;
+  t1.histogram("rel", {0.9, 0.99}).add(0.95);
+  t2.counter("rounds") += 7;
+  t2.gauge("n_tx") = 5.0;
+  t2.histogram("rel", {0.9, 0.99}).add(1.0);
+
+  sequential.counter("rounds") += 10;
+  sequential.counter("rounds") += 7;
+  sequential.gauge("n_tx") = 3.0;
+  sequential.gauge("n_tx") = 5.0;
+  sequential.histogram("rel", {0.9, 0.99}).add(0.95);
+  sequential.histogram("rel", {0.9, 0.99}).add(1.0);
+
+  MetricsRegistry merged;
+  merged.merge(t1);
+  merged.merge(t2);
+  EXPECT_EQ(merged.to_json(), sequential.to_json());
+}
+
+TEST(MetricsRegistry, ToJsonIsDeterministicAndOrdered) {
+  MetricsRegistry reg;
+  reg.counter("zeta") += 1;
+  reg.counter("alpha") += 2;
+  reg.gauge("g") = 0.5;
+  reg.histogram("h", {1.0}).add(2.0);
+
+  std::string j = reg.to_json();
+  // std::map ordering: alpha before zeta regardless of insertion order.
+  EXPECT_LT(j.find("\"alpha\""), j.find("\"zeta\""));
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(j.find("\"histograms\""), std::string::npos);
+  EXPECT_EQ(j, reg.to_json());  // stable across calls
+
+  MetricsRegistry empty;
+  EXPECT_EQ(empty.to_json(), "{}");
+}
+
+}  // namespace
+}  // namespace dimmer::obs

@@ -82,6 +82,70 @@ TEST(Exp3, SurvivesVeryLongRuns) {
   EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
 }
 
+TEST(Exp3, WeightsStayStrictlyPositiveUnderSustainedWins) {
+  // Regression: the renormalisation (w /= max_w once max_w > 1e100) used to
+  // drive the losing arm's weight through 1e-100, 1e-200, ... to exactly 0.0
+  // after a few rescales. A zero weight is permanent — multiplicative
+  // updates cannot resurrect it — so the arm was silently dead even though
+  // the gamma/K floor kept its probability looking sane.
+  Exp3 bandit(2, 0.3);
+  for (int i = 0; i < 200000; ++i) bandit.update(0, 1.0);
+  for (double w : bandit.weights()) {
+    EXPECT_TRUE(std::isfinite(w));
+    EXPECT_GT(w, 0.0);  // fails on the pre-fix code: weights()[1] == 0.0
+  }
+  auto p = bandit.probabilities();
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
+}
+
+TEST(Exp3, StarvedArmRecoversWhenRewardsFlip) {
+  // After a streak long enough to trigger many renormalisations, the starved
+  // arm must still be able to win back the lead once rewards favour it.
+  Exp3 bandit(2, 0.3);
+  for (int i = 0; i < 200000; ++i) bandit.update(0, 1.0);
+  EXPECT_EQ(bandit.best_arm(), 0u);
+  for (int i = 0; i < 2000; ++i) bandit.update(1, 1.0);
+  EXPECT_EQ(bandit.best_arm(), 1u);  // pre-fix: arm 1 is stuck at weight 0
+}
+
+TEST(Exp3, ProbabilityMatchesProbabilitiesVectorExactly) {
+  // probability(arm) is the allocation-free hot-path variant; it must be
+  // bit-identical to materialising the whole distribution.
+  Exp3 bandit(4, 0.15);
+  util::Pcg32 rng(17);
+  for (int t = 0; t < 300; ++t)
+    bandit.update(bandit.sample(rng), rng.uniform());
+  auto p = bandit.probabilities();
+  for (std::size_t i = 0; i < bandit.arms(); ++i)
+    EXPECT_EQ(bandit.probability(i), p[i]);  // exact, not NEAR
+}
+
+TEST(Exp3, SampleMatchesMaterializedDistributionWalk) {
+  // sample() must consume exactly one uniform and land on the same arm as a
+  // reference that materialises probabilities() and walks the CDF with the
+  // identical accumulation order.
+  Exp3 bandit(3, 0.2);
+  util::Pcg32 rng_fast(21), rng_ref(21);
+  util::Pcg32 reward_rng(22);
+  for (int t = 0; t < 500; ++t) {
+    std::size_t fast = bandit.sample(rng_fast);
+
+    auto p = bandit.probabilities();
+    double u = rng_ref.uniform();
+    std::size_t ref = bandit.arms() - 1;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      acc += p[i];
+      if (u < acc) {
+        ref = i;
+        break;
+      }
+    }
+    ASSERT_EQ(fast, ref) << "step " << t;
+    bandit.update(fast, reward_rng.uniform());
+  }
+}
+
 TEST(Exp3, SampleFollowsDistribution) {
   Exp3 bandit(2, 0.2);
   for (int i = 0; i < 30; ++i) bandit.update(0, 1.0);

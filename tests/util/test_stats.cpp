@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/rng.hpp"
@@ -162,6 +163,34 @@ TEST(Percentile, InterpolatesBetweenSamples) {
 TEST(Percentile, RejectsBadInput) {
   EXPECT_THROW(percentile({}, 50), RequireError);
   EXPECT_THROW(percentile({1.0}, 101), RequireError);
+}
+
+// Reference implementation: the original full-sort version. The selection
+// rewrite must be bit-identical to it (same order statistics, same
+// interpolation expression), not merely close.
+double percentile_by_sort(std::vector<double> v, double p) {
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+  auto lo = static_cast<std::size_t>(idx);
+  std::size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+TEST(Percentile, BitIdenticalToSortBasedReference) {
+  Pcg32 rng(404);
+  const double ps[] = {0.0, 1.0, 12.5, 25.0, 50.0, 66.6, 90.0, 99.0, 100.0};
+  for (std::size_t n : {1u, 2u, 3u, 5u, 10u, 37u, 100u, 1000u}) {
+    std::vector<double> v(n);
+    for (double& x : v) x = rng.uniform(-50.0, 50.0);
+    // Duplicates exercise the equal-elements partition path.
+    if (n >= 10) v[n / 2] = v[0];
+    for (double p : ps) {
+      EXPECT_EQ(percentile(v, p), percentile_by_sort(v, p))
+          << "n=" << n << " p=" << p;  // exact, not NEAR
+    }
+  }
 }
 
 }  // namespace
