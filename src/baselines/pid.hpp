@@ -41,7 +41,7 @@ class PidController : public core::AdaptivityController {
   const char* name() const override { return "pid"; }
 
   double integral() const { return integral_; }
-  void reset();
+  void reset() override;
 
  private:
   Config cfg_;

@@ -37,6 +37,12 @@ class AdaptivityController {
 
   virtual const char* name() const = 0;
 
+  /// Discards accumulated adaptation state (loss history, integrators).
+  /// Called on a *cold* coordinator failover: the backup starts from a blank
+  /// controller rather than inheriting the dead coordinator's memory.
+  /// Stateless controllers need not override.
+  virtual void reset() {}
+
   /// Optional observability hooks; default implementation ignores them so
   /// controllers without interesting internals need not care.
   virtual void set_instrumentation(obs::Instrumentation) {}
@@ -62,6 +68,10 @@ class DqnController : public AdaptivityController {
   int decide(const GlobalSnapshot& snapshot, bool round_lossless,
              int current_n_tx) override;
   const char* name() const override { return "dqn"; }
+  void reset() override {
+    history_.clear();
+    last_features_.clear();
+  }
   void set_instrumentation(obs::Instrumentation instr) override {
     instr_ = instr;
   }

@@ -114,6 +114,43 @@ void ForwarderSelection::end_round(double observed_reliability) {
   }
 }
 
+void ForwarderSelection::abort_episode(phy::NodeId new_coordinator) {
+  if (new_coordinator >= 0) {
+    DIMMER_REQUIRE(new_coordinator < static_cast<int>(bandits_.size()),
+                   "coordinator out of range");
+    coordinator_ = new_coordinator;
+  }
+  for (auto& b : bandits_) b = rl::Exp3(2, cfg_.exp3_gamma);
+  std::fill(roles_.begin(), roles_.end(), true);
+  order_.clear();
+  for (phy::NodeId i = 0; i < static_cast<int>(bandits_.size()); ++i)
+    if (i != coordinator_) order_.push_back(i);
+  learner_ = -1;
+  rounds_into_turn_ = 0;
+  round_open_ = false;
+  ++epoch_;
+  reshuffle_order();
+  if (instr_.metrics) instr_.metrics->counter("mab.episode_aborts") += 1;
+}
+
+void ForwarderSelection::set_coordinator(phy::NodeId new_coordinator) {
+  DIMMER_REQUIRE(new_coordinator >= 0 &&
+                     new_coordinator < static_cast<int>(bandits_.size()),
+                 "coordinator out of range");
+  if (new_coordinator == coordinator_) return;
+  // The new coordinator's slot in the turn order goes to the old one.
+  for (auto& id : order_)
+    if (id == new_coordinator) id = coordinator_;
+  roles_[static_cast<std::size_t>(new_coordinator)] = true;
+  if (learner_ == new_coordinator) {
+    // A coordinator cannot be mid-turn; force the turn to end so the next
+    // begin_round advances to another device.
+    rounds_into_turn_ = cfg_.rounds_per_turn;
+    round_open_ = false;
+  }
+  coordinator_ = new_coordinator;
+}
+
 void ForwarderSelection::apply_breaking_penalty(
     const std::vector<double>& local_views) {
   DIMMER_REQUIRE(local_views.size() == roles_.size(),

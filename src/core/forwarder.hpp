@@ -62,6 +62,18 @@ class ForwarderSelection {
   /// reliability estimate for the finished round.
   void apply_breaking_penalty(const std::vector<double>& local_views);
 
+  /// Cold coordinator failover: aborts the running learning episode
+  /// network-wide — every bandit is reinitialised, every device falls back
+  /// to active forwarding, and a fresh epoch order is drawn. Pass the new
+  /// coordinator (or -1 to keep the current one); the coordinator never
+  /// learns, so the turn order excludes it.
+  void abort_episode(phy::NodeId new_coordinator = -1);
+
+  /// Warm coordinator failover: the new coordinator stops learning (its
+  /// pending turn ends; its role is forced active) and the old coordinator
+  /// joins the turn order in its place. Bandit state is preserved.
+  void set_coordinator(phy::NodeId new_coordinator);
+
   /// Current role assignment; true = active forwarder.
   const std::vector<bool>& roles() const { return roles_; }
   int active_count() const;

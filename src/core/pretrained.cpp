@@ -99,14 +99,24 @@ rl::Mlp load_or_train_policy(const std::string& cache_path,
   {
     std::ifstream is(cache_path);
     if (is.good()) {
-      rl::Mlp net = rl::Mlp::load(is);
-      FeatureBuilder fb(options.features);
-      if (net.input_size() == fb.input_size() && net.output_size() == 3) {
-        if (log) *log << "[dimmer] loaded cached policy: " << cache_path << '\n';
-        return net;
+      // A stale, truncated or corrupt cache must never crash the caller:
+      // Mlp::load validates everything and throws, and we fall back to
+      // retraining (overwriting the bad cache below).
+      try {
+        rl::Mlp net = rl::Mlp::load(is);
+        FeatureBuilder fb(options.features);
+        if (net.input_size() == fb.input_size() && net.output_size() == 3) {
+          if (log)
+            *log << "[dimmer] loaded cached policy: " << cache_path << '\n';
+          return net;
+        }
+        if (log)
+          *log << "[dimmer] cached policy shape mismatch; retraining...\n";
+      } catch (const std::exception& e) {
+        if (log)
+          *log << "[dimmer] cached policy unreadable (" << e.what()
+               << "); retraining...\n";
       }
-      if (log)
-        *log << "[dimmer] cached policy shape mismatch; retraining...\n";
     }
   }
   rl::Mlp net = train_default_policy(options, log);

@@ -53,6 +53,16 @@ DimmerNetwork::DimmerNetwork(const phy::Topology& topo,
   time_ = cfg_.start_time;
   if (cfg_.forwarder_selection)
     fs_.emplace(n, coordinator_, cfg_.forwarder);
+
+  DIMMER_REQUIRE(cfg_.failover.takeover_silent_rounds >= 1,
+                 "takeover_silent_rounds must be >= 1");
+  for (phy::NodeId b : cfg_.failover.backups)
+    DIMMER_REQUIRE(b >= 0 && b < n, "backup coordinator out of range");
+  backup_silence_.assign(cfg_.failover.backups.size(), 0);
+  // The injector exists only with a non-empty plan, and draws from a stream
+  // forked off the trial seed — protocol RNG lockstep is never perturbed.
+  if (!cfg_.fault_plan.empty())
+    injector_.emplace(cfg_.fault_plan, n, seed);
 }
 
 void DimmerNetwork::set_instrumentation(obs::Instrumentation instr) {
@@ -83,7 +93,6 @@ double DimmerNetwork::local_reliability_view(phy::NodeId n) const {
 
 void DimmerNetwork::set_node_failed(phy::NodeId n, bool failed) {
   DIMMER_REQUIRE(n >= 0 && n < topo_->size(), "node out of range");
-  DIMMER_REQUIRE(n != coordinator_, "the coordinator cannot be failed");
   states_[static_cast<std::size_t>(n)].failed = failed;
 }
 
@@ -99,10 +108,20 @@ RoundStats DimmerNetwork::run_round(const std::vector<phy::NodeId>& sources) {
   out.n_tx = next_n_tx_;
   out.sources = sources;
 
+  // --- Scripted faults for this round, then the failover state machine.
+  lwb::RoundDisruptions dis;
+  if (injector_.has_value()) apply_faults(out, dis);
+  maybe_failover(out);
+  out.coordinator = coordinator_;
+  const bool coord_alive =
+      !states_[static_cast<std::size_t>(coordinator_)].failed;
+  out.orphaned = !coord_alive;
+
   // --- Mode selection: MAB learning rounds happen after `mab_calm_rounds`
   // consecutive lossless rounds (0 = every round, the paper's §V-D setup
-  // with the DQN deactivated).
-  bool mab_round = fs_.has_value() && calm_rounds_ >= cfg_.mab_calm_rounds;
+  // with the DQN deactivated). A dead coordinator grants no turns.
+  bool mab_round =
+      coord_alive && fs_.has_value() && calm_rounds_ >= cfg_.mab_calm_rounds;
   out.mab_round = mab_round;
   if (mab_round) {
     fs_->begin_round(rng_);
@@ -123,22 +142,35 @@ RoundStats DimmerNetwork::run_round(const std::vector<phy::NodeId>& sources) {
       [](const lwb::NodeState& s) { return s.forwarder; }));
 
   // --- Execute the round.
-  lwb::RoundResult rr = executor_.run_round(time_, round_idx_, coordinator_,
-                                            sources, next_n_tx_, states_, rng_);
+  lwb::RoundResult rr = executor_.run_round(
+      time_, round_idx_, coordinator_, sources, next_n_tx_, states_, rng_,
+      injector_.has_value() ? &dis : nullptr);
   process_round(rr, sources, out);
+  if (out.orphaned) {
+    // Nobody computed a schedule, so nobody can claim the round was clean.
+    out.coordinator_lossless = false;
+    if (instr_.metrics) {
+      instr_.metrics->counter("fault.orphaned_rounds") += 1;
+      instr_.metrics->counter("fault.orphaned_radio_on_us") +=
+          static_cast<std::uint64_t>(out.total_radio_on_us);
+    }
+  }
 
-  // --- Close the adaptation loop.
+  // --- Close the adaptation loop. An orphaned round leaves the controller
+  // untouched: there is no coordinator to run it.
   if (mab_round) {
     fs_->end_round(local_view_[static_cast<std::size_t>(fs_->current_learner())]);
   }
   if (fs_.has_value()) fs_->apply_breaking_penalty(local_view_);
-  if (!mab_round) {
+  if (!mab_round && coord_alive) {
     next_n_tx_ = controller_->decide(
         snapshots_[static_cast<std::size_t>(coordinator_)],
         out.coordinator_lossless, next_n_tx_);
     DIMMER_CHECK(next_n_tx_ >= 1 && next_n_tx_ <= cfg_.n_max);
   }
   calm_rounds_ = out.coordinator_lossless ? calm_rounds_ + 1 : 0;
+
+  update_failover_tracking(rr, out);
 
   if (instr_.metrics) {
     obs::MetricsRegistry& m = *instr_.metrics;
@@ -170,6 +202,7 @@ RoundStats DimmerNetwork::run_round(const std::vector<phy::NodeId>& sources) {
         .f("radio_on_ms", out.radio_on_ms)
         .f("desynchronized", out.desynchronized)
         .f("calm_rounds", calm_rounds_)
+        .f("orphaned", out.orphaned ? 1.0 : 0.0)
         .tag("controller", controller_->name());
     instr_.trace->emit(e);
   }
@@ -177,6 +210,156 @@ RoundStats DimmerNetwork::run_round(const std::vector<phy::NodeId>& sources) {
   time_ += cfg_.round_period;
   ++round_idx_;
   return out;
+}
+
+void DimmerNetwork::apply_faults(RoundStats& out, lwb::RoundDisruptions& dis) {
+  fault::RoundFaults rf = injector_->begin_round(round_idx_);
+
+  for (fault::NodeId n : rf.crashes)
+    states_[static_cast<std::size_t>(n)].failed = true;
+  if (rf.coordinator_crash)
+    states_[static_cast<std::size_t>(coordinator_)].failed = true;
+  for (fault::NodeId n : rf.reboots) {
+    auto& s = states_[static_cast<std::size_t>(n)];
+    s.failed = false;
+    // A rebooted node holds no schedule: it must re-bootstrap from scratch.
+    s.sync_age = cfg_.round.max_sync_age + 1;
+  }
+  for (fault::NodeId n : rf.clock_drifts) {
+    // Clock drift past the guard interval: the cached schedule is useless
+    // until the node hears a fresh one.
+    states_[static_cast<std::size_t>(n)].sync_age = cfg_.round.max_sync_age + 1;
+  }
+  dis.control_corrupted = rf.control_corrupted;
+  dis.deaf = std::move(rf.deaf);
+
+  if (instr_.metrics) {
+    obs::MetricsRegistry& m = *instr_.metrics;
+    if (!rf.crashes.empty())
+      m.counter("fault.node_crashes") += rf.crashes.size();
+    if (!rf.reboots.empty())
+      m.counter("fault.node_reboots") += rf.reboots.size();
+    if (!rf.clock_drifts.empty())
+      m.counter("fault.clock_drifts") += rf.clock_drifts.size();
+    if (rf.coordinator_crash) m.counter("fault.coordinator_crashes") += 1;
+    if (rf.control_corrupted) m.counter("fault.control_corruptions") += 1;
+    if (injector_->blackout_active()) m.counter("fault.blackout_rounds") += 1;
+  }
+  if (instr_.trace && rf.any()) {
+    int deaf_count = 0;
+    for (bool d : dis.deaf)
+      if (d) ++deaf_count;
+    obs::TraceEvent e;
+    e.kind = "fault";
+    e.round = round_idx_;
+    e.t_us = time_;
+    e.node = coordinator_;
+    e.f("crashes", static_cast<double>(rf.crashes.size()))
+        .f("reboots", static_cast<double>(rf.reboots.size()))
+        .f("clock_drifts", static_cast<double>(rf.clock_drifts.size()))
+        .f("coordinator_crash", rf.coordinator_crash ? 1.0 : 0.0)
+        .f("control_corrupted", rf.control_corrupted ? 1.0 : 0.0)
+        .f("deaf_nodes", deaf_count);
+    instr_.trace->emit(e);
+  }
+  (void)out;
+}
+
+void DimmerNetwork::maybe_failover(RoundStats& out) {
+  if (cfg_.failover.backups.empty()) return;
+  const int k = cfg_.failover.takeover_silent_rounds;
+  for (std::size_t j = 0; j < cfg_.failover.backups.size(); ++j) {
+    phy::NodeId b = cfg_.failover.backups[j];
+    if (b == coordinator_) continue;
+    if (states_[static_cast<std::size_t>(b)].failed) continue;
+    if (backup_silence_[j] < k) continue;
+
+    // Highest-priority alive backup that counted K silent rounds takes over.
+    const bool cold = cfg_.failover.mode == FailoverConfig::Mode::kCold;
+    phy::NodeId old = coordinator_;
+    coordinator_ = b;
+    ++failover_count_;
+    out.failover = true;
+    std::fill(backup_silence_.begin(), backup_silence_.end(), 0);
+    // The new coordinator resyncs by construction: it now *generates* the
+    // schedule it was missing.
+    states_[static_cast<std::size_t>(b)].sync_age = 0;
+    if (cold) {
+      controller_->reset();
+      if (fs_.has_value()) fs_->abort_episode(b);
+      calm_rounds_ = 0;
+    } else if (fs_.has_value()) {
+      fs_->set_coordinator(b);
+    }
+    recovering_ = true;
+    takeover_round_ = round_idx_;
+    recovery_min_rel_ = 1.0;
+    last_rounds_to_resync_ = -1;
+
+    if (instr_.metrics) {
+      obs::MetricsRegistry& m = *instr_.metrics;
+      m.counter("fault.failovers") += 1;
+      m.counter(cold ? "fault.failovers_cold" : "fault.failovers_warm") += 1;
+    }
+    if (instr_.trace) {
+      obs::TraceEvent e;
+      e.kind = "failover";
+      e.round = round_idx_;
+      e.t_us = time_;
+      e.node = b;
+      e.f("old_coordinator", old)
+          .f("new_coordinator", b)
+          .f("cold", cold ? 1.0 : 0.0)
+          .f("failover_count", failover_count_);
+      instr_.trace->emit(e);
+    }
+    break;
+  }
+}
+
+void DimmerNetwork::update_failover_tracking(const lwb::RoundResult& rr,
+                                             const RoundStats& out) {
+  for (std::size_t j = 0; j < cfg_.failover.backups.size(); ++j) {
+    phy::NodeId b = cfg_.failover.backups[j];
+    bool heard = b == coordinator_ ||
+                 rr.got_control[static_cast<std::size_t>(b)];
+    if (states_[static_cast<std::size_t>(b)].failed || heard)
+      backup_silence_[j] = 0;
+    else
+      backup_silence_[j] += 1;
+  }
+
+  if (!recovering_) return;
+  recovery_min_rel_ = std::min(recovery_min_rel_, out.reliability);
+  // Recovered = a non-orphaned round in which every *alive* node holds a
+  // usable schedule again (crashed nodes cannot resync by definition).
+  int alive_desynced = 0;
+  for (const auto& s : states_)
+    if (!s.failed && s.sync_age > cfg_.round.max_sync_age) ++alive_desynced;
+  if (!out.orphaned && alive_desynced == 0) {
+    recovering_ = false;
+    last_rounds_to_resync_ =
+        static_cast<int>(round_idx_ - takeover_round_ + 1);
+    if (instr_.metrics) {
+      obs::MetricsRegistry& m = *instr_.metrics;
+      m.gauge("fault.rounds_to_resync") =
+          static_cast<double>(last_rounds_to_resync_);
+      m.histogram("fault.rounds_to_resync", {1, 2, 3, 5, 8, 13, 21})
+          .add(static_cast<double>(last_rounds_to_resync_));
+      m.gauge("fault.reliability_dip_depth") = 1.0 - recovery_min_rel_;
+    }
+    if (instr_.trace) {
+      obs::TraceEvent e;
+      e.kind = "resync";
+      e.round = round_idx_;
+      e.t_us = time_;
+      e.node = coordinator_;
+      e.f("rounds_to_resync", last_rounds_to_resync_)
+          .f("min_reliability", recovery_min_rel_)
+          .f("dip_depth", 1.0 - recovery_min_rel_);
+      instr_.trace->emit(e);
+    }
+  }
 }
 
 void DimmerNetwork::process_round(const lwb::RoundResult& rr,
@@ -195,10 +378,10 @@ void DimmerNetwork::process_round(const lwb::RoundResult& rr,
                              cfg_.round.max_sync_age;
   };
 
-  // Control slot energy.
+  // Control slot energy (covers orphaned rounds and deaf listeners too).
   for (phy::NodeId i = 0; i < n; ++i)
     stats_[static_cast<std::size_t>(i)].record_energy_only_slot(
-        rr.control.nodes[static_cast<std::size_t>(i)].radio_on_us);
+        rr.control_radio_on_us[static_cast<std::size_t>(i)]);
 
   // Per-node local reliability view accumulators for this round.
   std::vector<int> rx_ok(static_cast<std::size_t>(n), 0);

@@ -21,12 +21,32 @@
 #include "core/forwarder.hpp"
 #include "core/stats_collector.hpp"
 #include "core/types.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "lwb/round.hpp"
 #include "phy/interference.hpp"
 #include "phy/topology.hpp"
 #include "util/rng.hpp"
 
 namespace dimmer::core {
+
+/// Coordinator failover policy. The deployment designates an ordered list of
+/// backup coordinators; a backup that misses `takeover_silent_rounds`
+/// consecutive schedules assumes the coordinator is dead and takes over
+/// (highest-priority alive backup wins — priorities keep simultaneous
+/// takeovers from partitioning the network).
+struct FailoverConfig {
+  /// Backup coordinators in takeover-priority order. Empty = no failover:
+  /// a dead coordinator orphans the network for good.
+  std::vector<phy::NodeId> backups;
+  /// Consecutive schedule misses before a backup takes over.
+  int takeover_silent_rounds = 3;
+  /// Warm: the backup inherits the adaptation state (controller memory,
+  /// MAB episode continue). Cold: fresh controller, Exp3 episode aborted
+  /// network-wide — models a backup that held no replicated state.
+  enum class Mode { kWarm, kCold };
+  Mode mode = Mode::kWarm;
+};
 
 struct ProtocolConfig {
   lwb::RoundConfig round;
@@ -51,6 +71,12 @@ struct ProtocolConfig {
   /// The coordinator allows an MAB learning round only after this many
   /// consecutive lossless rounds ("If no interference is detected...").
   int mab_calm_rounds = 2;
+  /// Coordinator failover policy (see FailoverConfig).
+  FailoverConfig failover;
+  /// Deterministic scripted faults applied on the round timeline. The
+  /// injector draws from its own forked RNG stream, so an empty plan is
+  /// bit-identical to no plan at all (asserted by the fault tests).
+  fault::FaultPlan fault_plan;
 };
 
 /// Ground-truth and coordinator-view metrics of one executed round.
@@ -60,6 +86,9 @@ struct RoundStats {
   int n_tx = 0;               ///< value commanded in this round's control slot
   bool mab_round = false;     ///< true if this was an MAB learning round
   int active_forwarders = 0;
+  phy::NodeId coordinator = -1;  ///< coordinator that ran this round
+  bool orphaned = false;      ///< the coordinator was dead; no schedule flood
+  bool failover = false;      ///< a backup took over before this round
 
   double reliability = 1.0;   ///< delivered (slot,destination) pairs ratio
   bool lossless = true;       ///< ground truth: every pair delivered
@@ -112,15 +141,33 @@ class DimmerNetwork {
   void set_instrumentation(obs::Instrumentation instr);
 
   /// Crash-fault injection: mark a node failed (radio permanently off) or
-  /// recovered. The coordinator cannot be failed. Note that the coordinator
-  /// cannot distinguish a crashed node from a jammed one: unless the node is
-  /// removed from the feedback subset, its missing feedback keeps reading as
-  /// 0% reliability and the controller escalates N_TX (by design — see the
-  /// fault-injection tests).
+  /// recovered. Failing the coordinator orphans subsequent rounds until a
+  /// configured backup takes over (see FailoverConfig). Note that the
+  /// coordinator cannot distinguish a crashed node from a jammed one: unless
+  /// the node is removed from the feedback subset, its missing feedback keeps
+  /// reading as 0% reliability and the controller escalates N_TX (by design —
+  /// see the fault-injection tests).
   void set_node_failed(phy::NodeId n, bool failed);
   bool node_failed(phy::NodeId n) const;
 
+  /// Number of coordinator takeovers so far.
+  int failover_count() const { return failover_count_; }
+  /// Rounds from the most recent takeover until every alive node was back in
+  /// sync; -1 while recovery is still in progress or before any failover.
+  int last_rounds_to_resync() const { return last_rounds_to_resync_; }
+  /// Lowest ground-truth reliability observed during the recovery window of
+  /// the most recent failover (1.0 before any failover).
+  double recovery_min_reliability() const { return recovery_min_rel_; }
+  const fault::FaultInjector* fault_injector() const {
+    return injector_ ? &*injector_ : nullptr;
+  }
+
  private:
+  void apply_faults(RoundStats& out, lwb::RoundDisruptions& dis);
+  void maybe_failover(RoundStats& out);
+  void update_failover_tracking(const lwb::RoundResult& rr,
+                                const RoundStats& out);
+
   void process_round(const lwb::RoundResult& rr,
                      const std::vector<phy::NodeId>& sources,
                      RoundStats& out);
@@ -144,6 +191,16 @@ class DimmerNetwork {
   // Learner's local view of the last executed round (for MAB end_round).
   std::vector<double> local_view_;
   obs::Instrumentation instr_;
+
+  // -- Fault injection & failover ------------------------------------------
+  std::optional<fault::FaultInjector> injector_;  // only with a non-empty plan
+  std::vector<int> backup_silence_;  ///< consecutive missed schedules/backup
+  int failover_count_ = 0;
+  // Recovery tracking for the most recent failover.
+  bool recovering_ = false;
+  std::uint64_t takeover_round_ = 0;
+  int last_rounds_to_resync_ = -1;
+  double recovery_min_rel_ = 1.0;
 };
 
 }  // namespace dimmer::core

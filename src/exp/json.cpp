@@ -64,6 +64,10 @@ std::string to_json(const std::string& bench, const std::vector<Trial>& trials,
       os << ", \"tags\": ";
       emit_object(os, t.spec.tags, [&](const std::string& v) { os << quote(v); });
     }
+    // Additive, optional key: fault-free benches render byte-identically to
+    // builds that predate the fault subsystem.
+    if (!t.spec.fault_plan.empty())
+      os << ", \"fault_events\": " << t.spec.fault_plan.size();
     os << ", \"ok\": " << (t.result.ok ? "true" : "false");
     if (!t.result.ok) os << ", \"error\": " << quote(t.result.error);
     os << ",\n     \"metrics\": ";

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/plan.hpp"
 #include "obs/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -39,6 +40,9 @@ struct TrialSpec {
   std::map<std::string, double> params;
   /// Non-numeric overrides (protocol name, episode label, ...).
   std::map<std::string, std::string> tags;
+  /// Scripted faults for this trial (see src/fault). Empty = fault-free, and
+  /// guaranteed bit-identical to a spec without a plan at all.
+  fault::FaultPlan fault_plan;
 };
 
 /// What one trial produced. All fields are written by the trial function

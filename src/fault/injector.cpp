@@ -1,0 +1,68 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dimmer::fault {
+
+FaultInjector::FaultInjector(FaultPlan plan, int n_nodes, std::uint64_t seed)
+    : plan_(std::move(plan)),
+      n_nodes_(n_nodes),
+      rng_(util::hash_u64(seed, 0xFA17ULL)) {
+  DIMMER_REQUIRE(n_nodes_ >= 1, "need at least one node");
+  plan_.validate(n_nodes_);
+  std::stable_sort(plan_.events.begin(), plan_.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.round < b.round;
+                   });
+}
+
+RoundFaults FaultInjector::begin_round(std::uint64_t round) {
+  DIMMER_REQUIRE(!started_ || round > last_round_,
+                 "rounds must be queried in strictly increasing order");
+  started_ = true;
+  last_round_ = round;
+
+  RoundFaults rf;
+  while (next_event_ < plan_.events.size() &&
+         plan_.events[next_event_].round <= round) {
+    const FaultEvent& e = plan_.events[next_event_++];
+    ++applied_;
+    switch (e.kind) {
+      case FaultKind::kNodeCrash:
+        rf.crashes.push_back(e.node);
+        break;
+      case FaultKind::kNodeReboot:
+        rf.reboots.push_back(e.node);
+        break;
+      case FaultKind::kCoordinatorCrash:
+        rf.coordinator_crash = true;
+        break;
+      case FaultKind::kBlackoutStart:
+        blackout_severity_ = e.severity;
+        break;
+      case FaultKind::kBlackoutEnd:
+        blackout_severity_ = 0.0;
+        break;
+      case FaultKind::kControlCorruption:
+        rf.control_corrupted = true;
+        break;
+      case FaultKind::kClockDrift:
+        rf.clock_drifts.push_back(e.node);
+        break;
+    }
+  }
+
+  if (blackout_severity_ > 0.0) {
+    // One Bernoulli per node per blacked-out round, always in node order:
+    // the deaf pattern is a pure function of (seed, sequence of blacked-out
+    // rounds), independent of anything the protocol does.
+    rf.deaf.resize(static_cast<std::size_t>(n_nodes_));
+    for (int i = 0; i < n_nodes_; ++i)
+      rf.deaf[static_cast<std::size_t>(i)] = rng_.bernoulli(blackout_severity_);
+  }
+  return rf;
+}
+
+}  // namespace dimmer::fault

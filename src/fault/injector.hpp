@@ -1,0 +1,63 @@
+// Deterministic replay of a FaultPlan against the round timeline.
+//
+// The injector owns a private Pcg32 stream seeded independently of every
+// protocol generator: stochastic fault decisions (which nodes go deaf in a
+// blackout round) are a pure function of (injector seed, round sequence) and
+// never consume draws from — or add draws to — the simulation's RNG streams.
+// That is what makes the zero-perturbation guarantee hold: a network driven
+// with an empty plan executes the exact same RNG lockstep as one with no
+// injector at all, and a faulted trial replays bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "util/rng.hpp"
+
+namespace dimmer::fault {
+
+/// What the protocol layer must apply at the start of one round.
+struct RoundFaults {
+  std::vector<NodeId> crashes;       ///< nodes whose radio dies now
+  std::vector<NodeId> reboots;       ///< crashed nodes powering back up
+  std::vector<NodeId> clock_drifts;  ///< nodes desynchronized by drift
+  bool coordinator_crash = false;    ///< crash the *current* coordinator
+  bool control_corrupted = false;    ///< this round's schedule is garbage
+  /// Non-empty during a blackout window: deaf[i] == true means node i
+  /// cannot receive anything this round (it still burns listen energy).
+  std::vector<bool> deaf;
+
+  bool any() const {
+    return coordinator_crash || control_corrupted || !crashes.empty() ||
+           !reboots.empty() || !clock_drifts.empty() || !deaf.empty();
+  }
+};
+
+class FaultInjector {
+ public:
+  /// `seed` roots the injector's private RNG stream; pass a hash of the
+  /// simulation seed so faulted sweeps stay reproducible per trial.
+  FaultInjector(FaultPlan plan, int n_nodes, std::uint64_t seed);
+
+  /// Faults taking effect at the start of `round`. Rounds must be queried in
+  /// strictly increasing order (the injector replays a timeline, it does not
+  /// support rewinding).
+  RoundFaults begin_round(std::uint64_t round);
+
+  const FaultPlan& plan() const { return plan_; }
+  std::uint64_t events_applied() const { return applied_; }
+  bool blackout_active() const { return blackout_severity_ > 0.0; }
+
+ private:
+  FaultPlan plan_;  ///< events stable-sorted by round
+  std::size_t next_event_ = 0;
+  int n_nodes_;
+  double blackout_severity_ = 0.0;
+  util::Pcg32 rng_;
+  bool started_ = false;
+  std::uint64_t last_round_ = 0;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace dimmer::fault

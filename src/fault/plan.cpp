@@ -1,0 +1,82 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dimmer::fault {
+
+FaultPlan& FaultPlan::crash(std::uint64_t round, NodeId node) {
+  events.push_back({round, FaultKind::kNodeCrash, node, 1.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::reboot(std::uint64_t round, NodeId node) {
+  events.push_back({round, FaultKind::kNodeReboot, node, 1.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_coordinator(std::uint64_t round) {
+  events.push_back({round, FaultKind::kCoordinatorCrash, -1, 1.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::blackout(std::uint64_t start_round,
+                               std::uint64_t end_round, double severity) {
+  DIMMER_REQUIRE(end_round > start_round,
+                 "blackout window must end after it starts");
+  events.push_back({start_round, FaultKind::kBlackoutStart, -1, severity});
+  events.push_back({end_round, FaultKind::kBlackoutEnd, -1, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt_control(std::uint64_t round) {
+  events.push_back({round, FaultKind::kControlCorruption, -1, 1.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::clock_drift(std::uint64_t round, NodeId node) {
+  events.push_back({round, FaultKind::kClockDrift, node, 1.0});
+  return *this;
+}
+
+void FaultPlan::validate(int n_nodes) const {
+  long open_blackouts = 0;
+  // Walk in replay (round-sorted, stable) order so window matching mirrors
+  // what the injector will actually do.
+  std::vector<std::size_t> order(events.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return events[a].round < events[b].round;
+                   });
+  for (std::size_t i : order) {
+    const FaultEvent& e = events[i];
+    switch (e.kind) {
+      case FaultKind::kNodeCrash:
+      case FaultKind::kNodeReboot:
+      case FaultKind::kClockDrift:
+        DIMMER_REQUIRE(e.node >= 0 && e.node < n_nodes,
+                       "fault event targets a node out of range");
+        break;
+      case FaultKind::kCoordinatorCrash:
+      case FaultKind::kControlCorruption:
+        break;
+      case FaultKind::kBlackoutStart:
+        DIMMER_REQUIRE(e.severity >= 0.0 && e.severity <= 1.0,
+                       "blackout severity must be in [0,1]");
+        ++open_blackouts;
+        DIMMER_REQUIRE(open_blackouts == 1,
+                       "blackout windows must not overlap");
+        break;
+      case FaultKind::kBlackoutEnd:
+        --open_blackouts;
+        DIMMER_REQUIRE(open_blackouts == 0,
+                       "blackout end without a matching start");
+        break;
+    }
+  }
+  DIMMER_REQUIRE(open_blackouts == 0, "unterminated blackout window");
+}
+
+}  // namespace dimmer::fault

@@ -1,0 +1,71 @@
+// Declarative, deterministic fault timelines.
+//
+// Dimmer's coordinator is a single point of failure (the DQN runs centrally
+// over network-wide feedback), so a production-scale deployment must be
+// measured under coordinator loss, node churn, and transient blackouts — not
+// just the calm/jammed scenarios of the paper's evaluation. A FaultPlan is a
+// scripted list of events on the round timeline; the FaultInjector replays it
+// against a DimmerNetwork with its *own* RNG stream, so fault randomness
+// never perturbs the protocol's RNG lockstep: a trial with an empty plan is
+// bit-identical to a trial with no plan at all, and a faulted trial is
+// bit-identical across reruns and DIMMER_JOBS values.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dimmer::fault {
+
+/// Node identifier, mirroring phy::NodeId (kept local so the fault layer
+/// depends only on util and can sit below exp in the build graph).
+using NodeId = int;
+
+enum class FaultKind {
+  kNodeCrash = 0,         ///< radio permanently off until a reboot
+  kNodeReboot,            ///< crashed node powers back up (desynchronized)
+  kCoordinatorCrash,      ///< crash whoever is coordinator when it fires
+  kBlackoutStart,         ///< begin a reception-blackout window (severity =
+                          ///< per-node per-round probability of deafness)
+  kBlackoutEnd,           ///< end the blackout window
+  kControlCorruption,     ///< this round's schedule packet is garbage:
+                          ///< energy is spent but no node can resync on it
+  kClockDrift,            ///< node's clock drifts past slot alignment: it is
+                          ///< desynchronized until it hears a schedule again
+};
+
+/// One scripted event. `round` is the round index at whose *start* the event
+/// takes effect; `node` targets crash/reboot/drift; `severity` parameterises
+/// blackout windows (probability in [0,1] that a given node is deaf in a
+/// given blacked-out round).
+struct FaultEvent {
+  std::uint64_t round = 0;
+  FaultKind kind = FaultKind::kNodeCrash;
+  NodeId node = -1;
+  double severity = 1.0;
+};
+
+/// An ordered fault script. Events may be appended in any round order; the
+/// injector replays them sorted by round (stable on insertion order for
+/// same-round events). The fluent builders make bench sweeps readable.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  std::size_t size() const { return events.size(); }
+
+  FaultPlan& crash(std::uint64_t round, NodeId node);
+  FaultPlan& reboot(std::uint64_t round, NodeId node);
+  FaultPlan& crash_coordinator(std::uint64_t round);
+  /// Blackout over rounds [start_round, end_round).
+  FaultPlan& blackout(std::uint64_t start_round, std::uint64_t end_round,
+                      double severity);
+  FaultPlan& corrupt_control(std::uint64_t round);
+  FaultPlan& clock_drift(std::uint64_t round, NodeId node);
+
+  /// Throws util::RequireError if any event targets a node outside
+  /// [0, n_nodes), has a severity outside [0,1], or a blackout window is
+  /// malformed (end before start, unmatched start/end).
+  void validate(int n_nodes) const;
+};
+
+}  // namespace dimmer::fault

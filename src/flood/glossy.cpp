@@ -28,6 +28,14 @@ double FloodResult::delivery_ratio() const {
   return static_cast<double>(receiver_count()) / participants;
 }
 
+FloodResult FloodResult::silent(int n_nodes, phy::NodeId initiator) {
+  FloodResult r;
+  r.nodes.assign(static_cast<std::size_t>(n_nodes), NodeFloodResult{});
+  r.participated_.assign(static_cast<std::size_t>(n_nodes), false);
+  r.initiator = initiator;
+  return r;
+}
+
 sim::TimeUs GlossyFlood::step_len_us(const FloodParams& p,
                                      const phy::RadioConstants& radio) {
   return static_cast<sim::TimeUs>(

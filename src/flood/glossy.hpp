@@ -74,6 +74,10 @@ struct FloodResult {
   /// received / participating non-initiator nodes (1.0 if none participate).
   double delivery_ratio() const;
 
+  /// A flood that never happened (crashed initiator): `n_nodes` entries, no
+  /// receptions, no participants, no energy. Used for orphaned control slots.
+  static FloodResult silent(int n_nodes, phy::NodeId initiator);
+
  private:
   friend class GlossyFlood;
   std::vector<bool> participated_;

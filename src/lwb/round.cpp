@@ -36,20 +36,31 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
                                      const std::vector<phy::NodeId>& data_sources,
                                      int next_n_tx,
                                      std::vector<NodeState>& states,
-                                     util::Pcg32& rng) const {
+                                     util::Pcg32& rng,
+                                     const RoundDisruptions* disruptions) const {
   const int n = topo_->size();
   DIMMER_REQUIRE(coordinator >= 0 && coordinator < n,
                  "coordinator out of range");
   DIMMER_REQUIRE(static_cast<int>(states.size()) == n,
                  "one NodeState per node required");
   DIMMER_REQUIRE(next_n_tx >= 0, "negative n_tx");
-  DIMMER_REQUIRE(!states[static_cast<std::size_t>(coordinator)].failed,
-                 "coordinator must not be failed");
+  DIMMER_REQUIRE(disruptions == nullptr || disruptions->deaf.empty() ||
+                     static_cast<int>(disruptions->deaf.size()) == n,
+                 "one deaf flag per node required");
   for (phy::NodeId s : data_sources)
     DIMMER_REQUIRE(s >= 0 && s < n, "data source out of range");
 
+  const bool corrupted = disruptions != nullptr && disruptions->control_corrupted;
+  auto deaf = [&](phy::NodeId i) {
+    return disruptions != nullptr && disruptions->deaf_node(i);
+  };
+  // A failed coordinator makes this an *orphaned* round: no schedule flood.
+  const bool coordinator_alive =
+      !states[static_cast<std::size_t>(coordinator)].failed;
+
   RoundResult result;
   result.radio_on_us.assign(static_cast<std::size_t>(n), 0);
+  result.control_radio_on_us.assign(static_cast<std::size_t>(n), 0);
   result.awake_slots.assign(static_cast<std::size_t>(n), 0);
   result.got_control.assign(static_cast<std::size_t>(n), false);
   result.duration_us = round_duration(data_sources.size());
@@ -59,7 +70,7 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
 
   // --- Control slot: everyone listens (desynced nodes are trying to
   // re-bootstrap on the control channel anyway).
-  {
+  if (coordinator_alive) {
     flood::FloodParams params;
     params.channel = cfg_.control_channel;
     params.slot_start_us = start;
@@ -79,7 +90,10 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
       bool relay = synced && (states[static_cast<std::size_t>(i)].forwarder ||
                               i == coordinator);
       c.n_tx = relay ? states[static_cast<std::size_t>(i)].n_tx : 0;
-      c.participates = !states[static_cast<std::size_t>(i)].failed;
+      // Deaf nodes cannot receive, hence cannot relay either; the initiator
+      // still transmits regardless (a blackout blinds receivers, not TX).
+      c.participates = !states[static_cast<std::size_t>(i)].failed &&
+                       (!deaf(i) || i == coordinator);
     }
     result.control = engine.run(coordinator, cfgs, params, rng);
 
@@ -89,8 +103,12 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
         s.sync_age += 1;  // a crashed node silently falls out of sync
         continue;
       }
+      // The coordinator always has its own, locally-generated schedule; a
+      // corrupt control packet is useless to everyone else even if the
+      // flood physically delivered it.
       bool got = i == coordinator ||
-                 result.control.nodes[static_cast<std::size_t>(i)].received;
+                 (!corrupted && !deaf(i) &&
+                  result.control.nodes[static_cast<std::size_t>(i)].received);
       result.got_control[static_cast<std::size_t>(i)] = got;
       if (got) {
         s.sync_age = 0;
@@ -98,8 +116,25 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
       } else {
         s.sync_age += 1;
       }
-      result.radio_on_us[static_cast<std::size_t>(i)] +=
-          result.control.nodes[static_cast<std::size_t>(i)].radio_on_us;
+      sim::TimeUs ctl =
+          deaf(i) && i != coordinator
+              ? cfg_.slot_len_us  // blind scanning, full slot
+              : result.control.nodes[static_cast<std::size_t>(i)].radio_on_us;
+      result.radio_on_us[static_cast<std::size_t>(i)] += ctl;
+      result.control_radio_on_us[static_cast<std::size_t>(i)] = ctl;
+      result.awake_slots[static_cast<std::size_t>(i)] += 1;
+    }
+  } else {
+    // Orphaned round: the schedule flood never starts. Every alive node
+    // listens the full control slot in vain and its sync age advances.
+    result.control = flood::FloodResult::silent(n, coordinator);
+    for (int i = 0; i < n; ++i) {
+      auto& s = states[static_cast<std::size_t>(i)];
+      s.sync_age += 1;
+      if (s.failed) continue;
+      result.radio_on_us[static_cast<std::size_t>(i)] += cfg_.slot_len_us;
+      result.control_radio_on_us[static_cast<std::size_t>(i)] =
+          cfg_.slot_len_us;
       result.awake_slots[static_cast<std::size_t>(i)] += 1;
     }
   }
@@ -132,7 +167,9 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
       for (int i = 0; i < n; ++i) {
         auto& c = cfgs[static_cast<std::size_t>(i)];
         const auto& s = states[static_cast<std::size_t>(i)];
-        c.participates = synced(i);
+        // A deaf node cannot receive (or relay), but a deaf *source* still
+        // initiates its own slot — blackouts blind receivers, not TX.
+        c.participates = synced(i) && (!deaf(i) || i == out.source);
         // Passive receivers keep n_tx = 0 except in their own slot (the
         // flood engine forces the initiator to transmit).
         c.n_tx = (s.forwarder || i == coordinator) ? s.n_tx : 0;
@@ -142,7 +179,9 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
       for (int i = 0; i < n; ++i) {
         if (!synced(i)) continue;
         result.radio_on_us[static_cast<std::size_t>(i)] +=
-            out.flood.nodes[static_cast<std::size_t>(i)].radio_on_us;
+            deaf(i) && i != out.source
+                ? cfg_.slot_len_us  // deaf listener scans the whole slot
+                : out.flood.nodes[static_cast<std::size_t>(i)].radio_on_us;
         result.awake_slots[static_cast<std::size_t>(i)] += 1;
       }
     } else {

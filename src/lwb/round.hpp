@@ -59,6 +59,26 @@ struct DataSlotOutcome {
   flood::FloodResult flood;    ///< empty flood if !source_synced
 };
 
+/// Transient, externally-injected disruptions for one round (fed by the
+/// fault layer; see src/fault). Passing nullptr / a default-constructed
+/// value leaves the executor's behaviour bit-identical to the undisrupted
+/// path — the zero-perturbation guarantee the fault tests assert.
+struct RoundDisruptions {
+  /// The schedule packet is corrupt: the control flood runs and costs the
+  /// usual energy, but no node can use its contents — nobody resyncs and
+  /// the new N_TX command is not applied (the coordinator itself keeps its
+  /// locally-generated schedule).
+  bool control_corrupted = false;
+  /// Per-node reception blackout. A deaf node cannot receive (and therefore
+  /// cannot relay) in any slot of this round; it burns full listening
+  /// energy while scanning. Empty = nobody is deaf.
+  std::vector<bool> deaf;
+
+  bool deaf_node(phy::NodeId i) const {
+    return !deaf.empty() && deaf[static_cast<std::size_t>(i)];
+  }
+};
+
 /// Outcome of one full round.
 struct RoundResult {
   flood::FloodResult control;
@@ -66,6 +86,10 @@ struct RoundResult {
   /// Per node: total radio-on time this round and slots it was awake for
   /// (for the paper's "radio-on time averaged over all slots" metric).
   std::vector<sim::TimeUs> radio_on_us;
+  /// Per node: the control slot's share of radio_on_us. Unlike
+  /// control.nodes[i].radio_on_us this covers disrupted paths too (orphaned
+  /// rounds, deaf listeners), so stats collectors charge the right energy.
+  std::vector<sim::TimeUs> control_radio_on_us;
   std::vector<int> awake_slots;
   /// Nodes that received this round's control flood (schedule + command).
   std::vector<bool> got_control;
@@ -82,11 +106,18 @@ class RoundExecutor {
   /// executor applies `next_n_tx` to nodes that receive the control slot
   /// (the paper: "Immediately after the control slot, all nodes apply the
   /// new N_TX parameter"). Desynchronized nodes keep their stale value.
+  ///
+  /// A *failed* coordinator yields an orphaned round: the control slot is
+  /// silent (every alive node listens the full slot in vain and its sync age
+  /// advances), while data slots still run off cached schedules until the
+  /// sources desynchronize. `disruptions` injects per-round fault effects;
+  /// nullptr means none.
   RoundResult run_round(sim::TimeUs start, std::uint64_t round_index,
                         phy::NodeId coordinator,
                         const std::vector<phy::NodeId>& data_sources,
                         int next_n_tx, std::vector<NodeState>& states,
-                        util::Pcg32& rng) const;
+                        util::Pcg32& rng,
+                        const RoundDisruptions* disruptions = nullptr) const;
 
   const RoundConfig& config() const { return cfg_; }
   const phy::Topology& topology() const { return *topo_; }

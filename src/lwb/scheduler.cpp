@@ -35,6 +35,26 @@ const Scheduler::Stream& Scheduler::stream(std::size_t stream_id) const {
 std::vector<phy::NodeId> Scheduler::schedule_round(sim::TimeUs now,
                                                    std::size_t max_slots) {
   DIMMER_REQUIRE(max_slots > 0, "max_slots must be positive");
+
+  // Clamp runaway backlogs before collecting due streams: a stream more than
+  // max_backlog_ intervals behind forfeits its oldest overdue intervals.
+  std::uint64_t dropped_now = 0;
+  if (max_backlog_ > 0) {
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      if (!live_[i] || streams_[i].next_due > now) continue;
+      auto behind = static_cast<std::uint64_t>(
+                        (now - streams_[i].next_due) / streams_[i].ipi) +
+                    1;
+      if (behind > max_backlog_) {
+        std::uint64_t drop = behind - max_backlog_;
+        streams_[i].next_due +=
+            static_cast<sim::TimeUs>(drop) * streams_[i].ipi;
+        dropped_now += drop;
+      }
+    }
+    backlog_dropped_ += dropped_now;
+  }
+
   // Due streams, earliest deadline first; stable on stream id.
   std::vector<std::size_t> due;
   for (std::size_t i = 0; i < streams_.size(); ++i)
@@ -58,6 +78,7 @@ std::vector<phy::NodeId> Scheduler::schedule_round(sim::TimeUs now,
     m.counter("scheduler.calls") += 1;
     m.counter("scheduler.slots_allocated") += slots.size();
     m.counter("scheduler.slots_carried_over") += due.size() - slots.size();
+    m.counter("scheduler.backlog_dropped") += dropped_now;
   }
   if (instr_.trace) {
     obs::TraceEvent e;

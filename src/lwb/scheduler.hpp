@@ -46,6 +46,18 @@ class Scheduler {
   /// the round period when nothing is due, LWB's energy lever.
   sim::TimeUs next_deadline() const;
 
+  /// Caps how many owed-but-unserved intervals a stream may accumulate.
+  /// During long outages (coordinator failover, blackouts) streams keep
+  /// falling due; without a cap the backlog grows without bound and the
+  /// network spends its first post-recovery rounds draining stale slots.
+  /// When a stream is more than `cap` intervals behind at schedule time, the
+  /// oldest overdue intervals are dropped (counted in backlog_dropped()).
+  /// 0 disables the cap. Default: 64.
+  void set_max_backlog(std::uint64_t cap) { max_backlog_ = cap; }
+  std::uint64_t max_backlog() const { return max_backlog_; }
+  /// Total overdue intervals dropped by the backlog cap since construction.
+  std::uint64_t backlog_dropped() const { return backlog_dropped_; }
+
   /// Optional observability hooks (a "schedule" event per schedule_round).
   void set_instrumentation(obs::Instrumentation instr) { instr_ = instr; }
 
@@ -54,6 +66,8 @@ class Scheduler {
   std::vector<bool> live_;
   obs::Instrumentation instr_;
   std::uint64_t schedule_calls_ = 0;
+  std::uint64_t max_backlog_ = 64;
+  std::uint64_t backlog_dropped_ = 0;
 };
 
 }  // namespace dimmer::lwb

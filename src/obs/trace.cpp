@@ -64,8 +64,16 @@ void RingBufferSink::clear() {
 // ---- JsonlFileSink ---------------------------------------------------------
 
 JsonlFileSink::JsonlFileSink(const std::string& path)
-    : path_(path), out_(path, std::ios::out | std::ios::trunc) {
-  DIMMER_REQUIRE(out_.good(), "cannot open trace file for writing: " + path);
+    : path_(path), file_(path, std::ios::out | std::ios::trunc) {
+  DIMMER_REQUIRE(file_.good(), "cannot open trace file for writing: " + path);
+  out_ = &file_;
+}
+
+JsonlFileSink::JsonlFileSink(std::unique_ptr<std::ostream> out,
+                             std::string label)
+    : path_(std::move(label)), owned_(std::move(out)) {
+  DIMMER_REQUIRE(owned_ != nullptr, "JsonlFileSink needs a stream");
+  out_ = owned_.get();
 }
 
 void JsonlFileSink::emit(const TraceEvent& e) {
@@ -74,7 +82,18 @@ void JsonlFileSink::emit(const TraceEvent& e) {
   std::string line = e.to_jsonl();
   line += '\n';
   std::lock_guard<std::mutex> lock(mu_);
-  out_ << line;
+  if (failed_) {
+    ++dropped_;
+    return;
+  }
+  *out_ << line;
+  if (out_->fail()) {
+    // First failed write: latch the failure and stop touching the stream.
+    // The half-written line (if any) is the last output this sink produces.
+    failed_ = true;
+    ++dropped_;
+    return;
+  }
   ++lines_;
 }
 

@@ -92,21 +92,37 @@ class RingBufferSink : public TraceSink {
 /// of one sweep may share a single file sink (lines from different trials
 /// interleave in schedule order, but every line is complete and valid —
 /// tag trials via TaggedSink to tell them apart).
+///
+/// Write failures (disk full, pipe closed) degrade gracefully: the sink
+/// stops writing, counts every subsequent event in dropped(), and never
+/// throws from emit() or the destructor — tracing is observability, and
+/// observability must not take the simulation down with it.
 class JsonlFileSink : public TraceSink {
  public:
   /// Throws util::RequireError if the file cannot be opened for writing.
   explicit JsonlFileSink(const std::string& path);
+  /// Writes to a caller-supplied stream instead of a file (tests inject
+  /// failing streams this way). The stream must not be null.
+  JsonlFileSink(std::unique_ptr<std::ostream> out, std::string label);
 
   void emit(const TraceEvent& e) override;
 
   std::uint64_t lines() const { return lines_; }
+  /// True once a write has failed; all later events are dropped.
+  bool failed() const { return failed_; }
+  /// Events discarded because the underlying stream failed.
+  std::uint64_t dropped() const { return dropped_; }
   const std::string& path() const { return path_; }
 
  private:
   std::string path_;
-  std::ofstream out_;
+  std::ofstream file_;
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_ = nullptr;
   std::mutex mu_;
   std::uint64_t lines_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool failed_ = false;
 };
 
 /// Forwards to a parent sink with a fixed tag appended to every event (e.g.

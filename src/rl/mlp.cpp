@@ -154,26 +154,43 @@ void Mlp::save(std::ostream& os) const {
 }
 
 Mlp Mlp::load(std::istream& is) {
+  // Every field is validated before use: a truncated, corrupt or mismatched
+  // stream must produce a clear util::RequireError, never a half-built
+  // network (callers such as load_or_train_policy catch and retrain).
   std::string magic;
   int version = 0;
   is >> magic >> version;
-  DIMMER_REQUIRE(magic == "dimmer-mlp" && version == 1,
+  DIMMER_REQUIRE(!is.fail() && magic == "dimmer-mlp" && version == 1,
                  "not a dimmer-mlp v1 stream");
   std::size_t n_layers = 0;
   is >> n_layers;
-  DIMMER_REQUIRE(n_layers >= 1 && n_layers < 64, "implausible layer count");
+  DIMMER_REQUIRE(!is.fail() && n_layers >= 1 && n_layers < 64,
+                 "implausible layer count in mlp stream");
   Mlp net;
+  int prev_out = -1;
   for (std::size_t li = 0; li < n_layers; ++li) {
     DenseLayer l;
     int relu = 0;
     is >> l.in >> l.out >> relu;
-    DIMMER_REQUIRE(is.good() && l.in > 0 && l.out > 0, "corrupt mlp stream");
+    DIMMER_REQUIRE(!is.fail() && l.in > 0 && l.out > 0,
+                   "corrupt mlp stream: bad layer header");
+    DIMMER_REQUIRE(l.in <= 65536 && l.out <= 65536,
+                   "implausible layer width in mlp stream");
+    DIMMER_REQUIRE(relu == 0 || relu == 1,
+                   "corrupt mlp stream: bad activation flag");
+    DIMMER_REQUIRE(prev_out < 0 || l.in == prev_out,
+                   "corrupt mlp stream: layer shapes do not chain");
+    prev_out = l.out;
     l.relu = relu != 0;
     l.w.resize(static_cast<std::size_t>(l.in) * l.out);
     l.b.resize(static_cast<std::size_t>(l.out));
     for (double& w : l.w) is >> w;
     for (double& b : l.b) is >> b;
-    DIMMER_REQUIRE(is.good(), "corrupt mlp stream");
+    DIMMER_REQUIRE(!is.fail(), "corrupt mlp stream: truncated weights");
+    for (double w : l.w)
+      DIMMER_REQUIRE(std::isfinite(w), "non-finite weight in mlp stream");
+    for (double b : l.b)
+      DIMMER_REQUIRE(std::isfinite(b), "non-finite bias in mlp stream");
     net.layers_.push_back(std::move(l));
   }
   return net;

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "core/pretrained.hpp"
 #include "core/trace_env.hpp"
@@ -24,6 +25,33 @@ TEST(Pretrained, LoadsMatchingCachedPolicyWithoutTraining) {
   rl::Mlp loaded = load_or_train_policy(path, opt, nullptr);
   std::vector<double> x(31, 0.25);
   EXPECT_EQ(loaded.forward(x), original.forward(x));
+  std::remove(path.c_str());
+}
+
+TEST(Pretrained, CorruptCacheFallsBackToRetraining) {
+  // A damaged cache file (torn write, disk corruption) must never abort the
+  // pipeline: load_or_train_policy logs, retrains, and overwrites the cache.
+  // Tiny budgets keep the retrain path fast enough for a unit test.
+  std::string path = ::testing::TempDir() + "dimmer_corrupt_policy.mlp";
+  {
+    std::ofstream os(path);
+    os << "dimmer-mlp 1\n2\n31 30 1\n0.5 0.5\n";  // truncated mid-stream
+  }
+  PretrainedOptions opt;
+  opt.trace_steps = 40;
+  opt.train_steps = 200;
+  opt.candidates = 1;
+  opt.validation_steps = 30;
+  std::ostringstream log;
+  rl::Mlp policy = load_or_train_policy(path, opt, &log);
+  EXPECT_EQ(policy.input_size(), FeatureBuilder(opt.features).input_size());
+  EXPECT_NE(log.str().find("retraining"), std::string::npos) << log.str();
+  // The rewritten cache is valid now: a second call loads it directly.
+  std::ostringstream relog;
+  rl::Mlp reloaded = load_or_train_policy(path, opt, &relog);
+  EXPECT_EQ(relog.str().find("retraining"), std::string::npos) << relog.str();
+  std::vector<double> x(static_cast<std::size_t>(policy.input_size()), 0.25);
+  EXPECT_EQ(reloaded.forward(x), policy.forward(x));
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,92 @@
+// FaultPlan builders and validation.
+#include <gtest/gtest.h>
+
+#include "fault/plan.hpp"
+#include "util/check.hpp"
+
+namespace dimmer {
+namespace {
+
+TEST(FaultPlan, EmptyByDefault) {
+  fault::FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.size(), 0u);
+  plan.validate(4);  // an empty plan is always valid
+}
+
+TEST(FaultPlan, BuildersAppendEvents) {
+  fault::FaultPlan plan;
+  plan.crash(5, 2)
+      .reboot(9, 2)
+      .crash_coordinator(12)
+      .corrupt_control(3)
+      .clock_drift(7, 1);
+  EXPECT_EQ(plan.size(), 5u);
+  EXPECT_EQ(plan.events[0].kind, fault::FaultKind::kNodeCrash);
+  EXPECT_EQ(plan.events[0].round, 5u);
+  EXPECT_EQ(plan.events[0].node, 2);
+  EXPECT_EQ(plan.events[2].kind, fault::FaultKind::kCoordinatorCrash);
+  plan.validate(4);
+}
+
+TEST(FaultPlan, BlackoutAppendsMatchedWindow) {
+  fault::FaultPlan plan;
+  plan.blackout(10, 20, 0.4);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.events[0].kind, fault::FaultKind::kBlackoutStart);
+  EXPECT_EQ(plan.events[0].round, 10u);
+  EXPECT_DOUBLE_EQ(plan.events[0].severity, 0.4);
+  EXPECT_EQ(plan.events[1].kind, fault::FaultKind::kBlackoutEnd);
+  EXPECT_EQ(plan.events[1].round, 20u);
+  plan.validate(4);
+}
+
+TEST(FaultPlan, BlackoutRejectsEmptyWindow) {
+  fault::FaultPlan plan;
+  EXPECT_THROW(plan.blackout(10, 10, 0.5), util::RequireError);
+  EXPECT_THROW(plan.blackout(10, 5, 0.5), util::RequireError);
+}
+
+TEST(FaultPlan, ValidateRejectsOutOfRangeNode) {
+  fault::FaultPlan plan;
+  plan.crash(1, 7);
+  EXPECT_THROW(plan.validate(4), util::RequireError);
+  fault::FaultPlan neg;
+  neg.clock_drift(1, -1);
+  EXPECT_THROW(neg.validate(4), util::RequireError);
+}
+
+TEST(FaultPlan, ValidateRejectsBadSeverity) {
+  fault::FaultPlan plan;
+  plan.events.push_back(
+      {3, fault::FaultKind::kBlackoutStart, -1, 1.5});
+  plan.events.push_back({5, fault::FaultKind::kBlackoutEnd, -1, 1.0});
+  EXPECT_THROW(plan.validate(4), util::RequireError);
+}
+
+TEST(FaultPlan, ValidateRejectsOverlappingBlackouts) {
+  fault::FaultPlan plan;
+  plan.blackout(5, 15, 0.5);
+  plan.blackout(10, 20, 0.5);  // starts inside the first window
+  EXPECT_THROW(plan.validate(4), util::RequireError);
+}
+
+TEST(FaultPlan, ValidateRejectsUnmatchedBlackout) {
+  fault::FaultPlan plan;
+  plan.events.push_back({5, fault::FaultKind::kBlackoutStart, -1, 0.5});
+  EXPECT_THROW(plan.validate(4), util::RequireError);
+
+  fault::FaultPlan end_only;
+  end_only.events.push_back({5, fault::FaultKind::kBlackoutEnd, -1, 1.0});
+  EXPECT_THROW(end_only.validate(4), util::RequireError);
+}
+
+TEST(FaultPlan, SequentialBlackoutsAreFine) {
+  fault::FaultPlan plan;
+  plan.blackout(5, 10, 0.3);
+  plan.blackout(10, 15, 0.8);  // back-to-back: [5,10) then [10,15)
+  plan.validate(4);
+}
+
+}  // namespace
+}  // namespace dimmer

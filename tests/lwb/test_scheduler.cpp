@@ -84,6 +84,52 @@ TEST(Scheduler, NextDeadlineTracksEarliestStream) {
   EXPECT_EQ(s.next_deadline(), sim::seconds(6));
 }
 
+TEST(Scheduler, BacklogCapDropsOldestOverdueIntervals) {
+  Scheduler s;
+  s.set_max_backlog(3);
+  s.add_stream(5, sim::seconds(1), 0);  // first due at 1 s
+  // A 10 s outage leaves the stream 10 intervals behind; the cap forfeits
+  // the oldest 7 so recovery drains at most 3 stale slots.
+  auto r1 = s.schedule_round(sim::seconds(10), 8);
+  EXPECT_EQ(r1.size(), 1u);
+  EXPECT_EQ(s.backlog_dropped(), 7u);
+  EXPECT_EQ(s.schedule_round(sim::seconds(10), 8).size(), 1u);
+  EXPECT_EQ(s.schedule_round(sim::seconds(10), 8).size(), 1u);
+  EXPECT_TRUE(s.schedule_round(sim::seconds(10), 8).empty());  // caught up
+  EXPECT_EQ(s.backlog_dropped(), 7u);  // no further drops once within cap
+}
+
+TEST(Scheduler, ZeroBacklogCapDisablesDropping) {
+  Scheduler s;
+  s.set_max_backlog(0);
+  EXPECT_EQ(s.max_backlog(), 0u);
+  s.add_stream(5, sim::seconds(1), 0);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(s.schedule_round(sim::seconds(10), 8).size(), 1u) << i;
+  EXPECT_TRUE(s.schedule_round(sim::seconds(10), 8).empty());
+  EXPECT_EQ(s.backlog_dropped(), 0u);
+}
+
+TEST(Scheduler, DefaultBacklogCapIsInertForHealthyStreams) {
+  Scheduler s;
+  EXPECT_EQ(s.max_backlog(), 64u);
+  s.add_stream(1, sim::seconds(4), 0);
+  for (int r = 1; r <= 8; ++r)
+    EXPECT_EQ(s.schedule_round(sim::seconds(4 * r), 8).size(), 1u);
+  EXPECT_EQ(s.backlog_dropped(), 0u);
+}
+
+TEST(Scheduler, BacklogDropsAreCounted) {
+  obs::MetricsRegistry metrics;
+  Scheduler s;
+  s.set_instrumentation(obs::Instrumentation{nullptr, &metrics});
+  s.set_max_backlog(2);
+  s.add_stream(3, sim::seconds(1), 0);
+  s.schedule_round(sim::seconds(6), 8);  // 6 behind, cap 2 -> 4 dropped
+  EXPECT_EQ(s.backlog_dropped(), 4u);
+  EXPECT_EQ(metrics.counter("scheduler.backlog_dropped"), 4u);
+}
+
 TEST(Scheduler, RejectsBadArguments) {
   Scheduler s;
   EXPECT_THROW(s.add_stream(-1, sim::seconds(1), 0), util::RequireError);

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -113,6 +114,49 @@ TEST(JsonlFileSink, WritesOneValidLinePerEvent) {
 TEST(JsonlFileSink, ThrowsOnUnopenablePath) {
   EXPECT_THROW(JsonlFileSink("/nonexistent-dir-zzz/trace.jsonl"),
                util::RequireError);
+}
+
+TEST(JsonlFileSink, RejectsNullStream) {
+  EXPECT_THROW(JsonlFileSink(nullptr, "null-stream"), util::RequireError);
+}
+
+TEST(JsonlFileSink, WriteFailureLatchesAndDropsInsteadOfThrowing) {
+  auto stream = std::make_unique<std::ostringstream>();
+  std::ostringstream* raw = stream.get();
+  JsonlFileSink sink(std::move(stream), "test-stream");
+  EXPECT_EQ(sink.path(), "test-stream");
+
+  TraceEvent e;
+  e.kind = "round";
+  sink.emit(e);
+  sink.emit(e);
+  EXPECT_EQ(sink.lines(), 2u);
+  EXPECT_FALSE(sink.failed());
+  EXPECT_EQ(sink.dropped(), 0u);
+
+  // Simulate disk-full / closed-pipe: every write from now on fails. The
+  // sink must degrade, not throw — observability can't take the sim down.
+  raw->setstate(std::ios::badbit);
+  EXPECT_NO_THROW(sink.emit(e));
+  EXPECT_TRUE(sink.failed());
+  EXPECT_EQ(sink.dropped(), 1u);
+
+  // The failure is latched: even if the stream recovers, the sink stays
+  // quiet (a half-written line must remain the final output).
+  raw->clear();
+  EXPECT_NO_THROW(sink.emit(e));
+  EXPECT_EQ(sink.dropped(), 2u);
+  EXPECT_EQ(sink.lines(), 2u);
+
+  // The two good lines are intact and valid.
+  std::istringstream in(raw->str());
+  std::string line;
+  int n = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(JsonValidator::valid(line)) << line;
+    ++n;
+  }
+  EXPECT_EQ(n, 2);
 }
 
 TEST(TaggedSink, AppendsTagWithoutMutatingOriginal) {

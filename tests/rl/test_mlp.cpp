@@ -130,6 +130,60 @@ TEST(Mlp, LoadRejectsGarbage) {
   EXPECT_THROW(Mlp::load(ss), util::RequireError);
 }
 
+TEST(Mlp, LoadRejectsTruncatedStream) {
+  Mlp net({5, 7, 3}, 9);
+  std::stringstream full;
+  net.save(full);
+  std::string text = full.str();
+  // Cut at several depths: mid-header, mid-layer-header, mid-weights.
+  for (std::size_t cut : {std::size_t{4}, text.size() / 4, text.size() / 2,
+                          text.size() - 3}) {
+    std::stringstream ss(text.substr(0, cut));
+    EXPECT_THROW(Mlp::load(ss), util::RequireError) << "cut at " << cut;
+  }
+}
+
+TEST(Mlp, LoadRejectsBadLayerHeader) {
+  // in = 0 is not a layer.
+  std::stringstream zero("dimmer-mlp 1\n1\n0 3 1\n");
+  EXPECT_THROW(Mlp::load(zero), util::RequireError);
+  // Absurd width (a corrupt count would otherwise allocate gigabytes).
+  std::stringstream huge("dimmer-mlp 1\n1\n2 999999999 0\n");
+  EXPECT_THROW(Mlp::load(huge), util::RequireError);
+  // relu flag must be 0 or 1.
+  std::stringstream relu("dimmer-mlp 1\n1\n2 1 7\n1 1\n0\n");
+  EXPECT_THROW(Mlp::load(relu), util::RequireError);
+}
+
+TEST(Mlp, LoadRejectsMismatchedLayerChain) {
+  // Layer 0 outputs 3 but layer 1 claims 4 inputs: a spliced/corrupt file.
+  std::stringstream ss(
+      "dimmer-mlp 1\n2\n"
+      "2 3 1\n1 1 1 1 1 1\n0 0 0\n"
+      "4 1 0\n1 1 1 1\n0\n");
+  EXPECT_THROW(Mlp::load(ss), util::RequireError);
+}
+
+TEST(Mlp, LoadRejectsNonFiniteWeights) {
+  // Whether the platform's stream parser accepts "nan"/"1e999" (yielding a
+  // non-finite double) or chokes on it (failbit), the load must throw —
+  // never hand back a net that outputs NaN.
+  for (const char* bad : {"nan", "inf", "1e999"}) {
+    std::stringstream ss(std::string("dimmer-mlp 1\n1\n2 1 0\n") + bad +
+                         " 0.5\n0.25\n");
+    EXPECT_THROW(Mlp::load(ss), util::RequireError) << bad;
+  }
+}
+
+TEST(Mlp, FailedLoadDoesNotDisturbStreamlessState) {
+  // load is a static factory: a throw must not leak a half-built net.
+  // (Exercise it repeatedly to let ASan catch any leak/UB on the path.)
+  for (int i = 0; i < 8; ++i) {
+    std::stringstream ss("dimmer-mlp 1\n1\n2 1 0\n0.5\n");  // truncated
+    EXPECT_THROW(Mlp::load(ss), util::RequireError);
+  }
+}
+
 TEST(Mlp, CopyParametersRequiresSameShape) {
   Mlp a({4, 3, 2}, 1), b({4, 5, 2}, 1);
   EXPECT_THROW(a.copy_parameters_from(b), util::RequireError);
