@@ -63,6 +63,32 @@ void BM_GlossyFlood(benchmark::State& state) {
 }
 BENCHMARK(BM_GlossyFlood)->Arg(1)->Arg(3)->Arg(8);
 
+// The steady-state hot path: run_into with a persistent workspace and reused
+// result — zero allocations, warm link-matrix cache. The gap against
+// BM_GlossyFlood at the same Arg is the per-flood setup cost alone; the
+// CI perf-smoke job tracks this series for regressions.
+void BM_FloodRun(benchmark::State& state) {
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  flood::GlossyFlood engine(topo, field);
+  std::vector<flood::NodeFloodConfig> cfgs(
+      static_cast<std::size_t>(topo.size()),
+      flood::NodeFloodConfig{static_cast<int>(state.range(0)), true});
+  flood::FloodParams params;
+  flood::FloodWorkspace ws;
+  flood::FloodResult result;
+  util::Pcg32 rng(3);
+  engine.run_into(0, cfgs, params, rng, ws, result);  // warm-up sizing
+  long long steps = 0;
+  for (auto _ : state) {
+    engine.run_into(0, cfgs, params, rng, ws, result);
+    steps += result.steps_simulated;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(steps));
+}
+BENCHMARK(BM_FloodRun)->Arg(1)->Arg(3)->Arg(8);
+
 // Same flood with observability attached: metrics registry only, and
 // metrics + ring-buffer trace. The delta against BM_GlossyFlood/3 is the
 // instrumentation overhead (the no-sink cost is a pointer check).

@@ -16,11 +16,15 @@ CrystalNetwork::CrystalNetwork(const phy::Topology& topo,
       interf_(&interference),
       cfg_(std::move(cfg)),
       sink_(sink),
-      rng_(seed) {
+      rng_(seed),
+      engine_(topo, interference),
+      all_relay_(static_cast<std::size_t>(topo.size()),
+                 flood::NodeFloodConfig{cfg_.n_tx, true}) {
   DIMMER_REQUIRE(sink >= 0 && sink < topo.size(), "sink out of range");
   DIMMER_REQUIRE(!cfg_.hop_sequence.empty(), "hopping sequence required");
   DIMMER_REQUIRE(cfg_.max_silent_pairs >= 1, "max_silent_pairs must be >= 1");
   DIMMER_REQUIRE(cfg_.max_pairs >= 1, "max_pairs must be >= 1");
+  ws_.reserve(topo.size());
 }
 
 void CrystalNetwork::offer_packet(phy::NodeId source) {
@@ -37,16 +41,14 @@ CrystalNetwork::EpochStats CrystalNetwork::run_epoch() {
   const int n = topo_->size();
   EpochStats stats;
 
-  flood::GlossyFlood engine(*topo_, *interf_);
-  std::vector<flood::NodeFloodConfig> all_relay(
-      static_cast<std::size_t>(n), flood::NodeFloodConfig{cfg_.n_tx, true});
-
   std::vector<sim::TimeUs> radio(static_cast<std::size_t>(n), 0);
   int slots_run = 0;
   sim::TimeUs t = time_;
 
-  auto run_flood = [&](phy::NodeId initiator, int bytes,
-                       phy::Channel ch) -> flood::FloodResult {
+  // Floods reuse the persistent engine plus caller-owned workspace/result
+  // buffers, so steady-state epochs run without flood-path allocations.
+  auto run_flood = [&](phy::NodeId initiator, int bytes, phy::Channel ch,
+                       flood::FloodResult& r) {
     flood::FloodParams params;
     params.channel = ch;
     params.slot_start_us = t;
@@ -54,19 +56,19 @@ CrystalNetwork::EpochStats CrystalNetwork::run_epoch() {
     params.payload_bytes = bytes;
     params.tx_power_dbm = cfg_.tx_power_dbm;
     params.coherence_gain = cfg_.coherence_gain;
-    flood::FloodResult r = engine.run(initiator, all_relay, params, rng_);
+    engine_.run_into(initiator, all_relay_, params, rng_, ws_, r);
     for (int i = 0; i < n; ++i)
       radio[static_cast<std::size_t>(i)] +=
           r.nodes[static_cast<std::size_t>(i)].radio_on_us;
     ++slots_run;
     t += cfg_.slot_len_us;
-    return r;
   };
 
   // --- S slot: sink-initiated synchronization flood on the first hop
   // channel. Nodes that miss it sit the epoch out (rare; counted as energy).
   phy::Channel s_ch = cfg_.hop_sequence[epoch_idx_ % cfg_.hop_sequence.size()];
-  flood::FloodResult sync = run_flood(sink_, cfg_.sync_bytes, s_ch);
+  run_flood(sink_, cfg_.sync_bytes, s_ch, sync_buf_);
+  const flood::FloodResult& sync = sync_buf_;
   std::vector<bool> in_epoch(static_cast<std::size_t>(n), false);
   for (int i = 0; i < n; ++i)
     in_epoch[static_cast<std::size_t>(i)] =
@@ -99,9 +101,8 @@ CrystalNetwork::EpochStats CrystalNetwork::run_epoch() {
           win = q;
         }
       }
-      flood::FloodResult tr =
-          run_flood(queue_[win].source, cfg_.payload_bytes, ch);
-      sink_got = tr.nodes[static_cast<std::size_t>(sink_)].received;
+      run_flood(queue_[win].source, cfg_.payload_bytes, ch, tx_buf_);
+      sink_got = tx_buf_.nodes[static_cast<std::size_t>(sink_)].received;
       won_index = win;
     } else {
       // Silent T slot: everyone performs a short listen (clear-channel
@@ -116,7 +117,8 @@ CrystalNetwork::EpochStats CrystalNetwork::run_epoch() {
 
     // --- A slot: sink acknowledges (or stays silent on a miss).
     if (sink_got) {
-      flood::FloodResult ack = run_flood(sink_, cfg_.ack_bytes, ch);
+      run_flood(sink_, cfg_.ack_bytes, ch, ack_buf_);
+      const flood::FloodResult& ack = ack_buf_;
       // Duplicate suppression by sequence number: count a packet once even
       // if the source retries because it missed the ACK.
       if (!queue_[won_index].counted) {

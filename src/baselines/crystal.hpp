@@ -87,6 +87,14 @@ class CrystalNetwork {
   std::deque<Pending> queue_;
   sim::TimeUs time_ = 0;
   std::uint64_t epoch_idx_ = 0;
+  // Persistent flood engine (keeps the mW link-matrix cache warm across
+  // epochs) plus reused per-flood scratch/result buffers.
+  flood::GlossyFlood engine_;
+  flood::FloodWorkspace ws_;
+  std::vector<flood::NodeFloodConfig> all_relay_;
+  flood::FloodResult sync_buf_;
+  flood::FloodResult tx_buf_;
+  flood::FloodResult ack_buf_;
 };
 
 /// Aperiodic-collection workload over Crystal, mirroring

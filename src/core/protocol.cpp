@@ -141,10 +141,12 @@ RoundStats DimmerNetwork::run_round(const std::vector<phy::NodeId>& sources) {
       states_.begin(), states_.end(),
       [](const lwb::NodeState& s) { return s.forwarder; }));
 
-  // --- Execute the round.
-  lwb::RoundResult rr = executor_.run_round(
-      time_, round_idx_, coordinator_, sources, next_n_tx_, states_, rng_,
-      injector_.has_value() ? &dis : nullptr);
+  // --- Execute the round into the pooled result (buffers reused across
+  // rounds; see protocol.hpp).
+  executor_.run_round_into(time_, round_idx_, coordinator_, sources,
+                           next_n_tx_, states_, rng_,
+                           injector_.has_value() ? &dis : nullptr, round_buf_);
+  const lwb::RoundResult& rr = round_buf_;
   process_round(rr, sources, out);
   if (out.orphaned) {
     // Nobody computed a schedule, so nobody can claim the round was clean.
@@ -383,10 +385,14 @@ void DimmerNetwork::process_round(const lwb::RoundResult& rr,
     stats_[static_cast<std::size_t>(i)].record_energy_only_slot(
         rr.control_radio_on_us[static_cast<std::size_t>(i)]);
 
-  // Per-node local reliability view accumulators for this round.
-  std::vector<int> rx_ok(static_cast<std::size_t>(n), 0);
-  std::vector<int> rx_expected(static_cast<std::size_t>(n), 0);
-  std::vector<double> worst_header(static_cast<std::size_t>(n), 1.0);
+  // Per-node local reliability view accumulators for this round (member
+  // scratch: assign() reuses capacity across rounds).
+  rx_ok_scratch_.assign(static_cast<std::size_t>(n), 0);
+  rx_expected_scratch_.assign(static_cast<std::size_t>(n), 0);
+  worst_header_scratch_.assign(static_cast<std::size_t>(n), 1.0);
+  std::vector<int>& rx_ok = rx_ok_scratch_;
+  std::vector<int>& rx_expected = rx_expected_scratch_;
+  std::vector<double>& worst_header = worst_header_scratch_;
 
   long delivered_pairs = 0, expected_pairs = 0;
   bool coord_missed = false;

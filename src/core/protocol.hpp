@@ -191,6 +191,12 @@ class DimmerNetwork {
   // Learner's local view of the last executed round (for MAB end_round).
   std::vector<double> local_view_;
   obs::Instrumentation instr_;
+  // Round-result pool and per-round scratch, reused across rounds so the
+  // steady-state flood path performs no heap allocations (DESIGN.md §10).
+  lwb::RoundResult round_buf_;
+  std::vector<int> rx_ok_scratch_;
+  std::vector<int> rx_expected_scratch_;
+  std::vector<double> worst_header_scratch_;
 
   // -- Fault injection & failover ------------------------------------------
   std::optional<fault::FaultInjector> injector_;  // only with a non-empty plan

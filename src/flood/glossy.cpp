@@ -9,32 +9,48 @@
 
 namespace dimmer::flood {
 
-int FloodResult::receiver_count() const {
-  int n = 0;
+FloodResult::Summary FloodResult::summarize() const {
+  Summary s;
   for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!participated[i]) continue;
+    const NodeFloodResult& r = nodes[i];
+    s.transmissions += r.transmissions;
+    s.radio_on_us += r.radio_on_us;
     if (static_cast<phy::NodeId>(i) == initiator) continue;
-    if (participated_[i] && nodes[i].received) ++n;
+    ++s.participants;
+    if (r.received) ++s.receivers;
   }
-  return n;
+  return s;
 }
 
 double FloodResult::delivery_ratio() const {
-  int participants = 0;
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    if (static_cast<phy::NodeId>(i) == initiator) continue;
-    if (participated_[i]) ++participants;
-  }
-  if (participants == 0) return 1.0;
-  return static_cast<double>(receiver_count()) / participants;
+  Summary s = summarize();
+  if (s.participants == 0) return 1.0;
+  return static_cast<double>(s.receivers) / s.participants;
+}
+
+void FloodResult::make_silent(int n_nodes, phy::NodeId init) {
+  nodes.assign(static_cast<std::size_t>(n_nodes), NodeFloodResult{});
+  participated.assign(static_cast<std::size_t>(n_nodes), false);
+  steps_simulated = 0;
+  initiator = init;
 }
 
 FloodResult FloodResult::silent(int n_nodes, phy::NodeId initiator) {
   FloodResult r;
-  r.nodes.assign(static_cast<std::size_t>(n_nodes), NodeFloodResult{});
-  r.participated_.assign(static_cast<std::size_t>(n_nodes), false);
-  r.initiator = initiator;
+  r.make_silent(n_nodes, initiator);
   return r;
 }
+
+GlossyFlood::GlossyFlood(const phy::Topology& topo,
+                         const phy::InterferenceField& interf)
+    : owned_links_(std::make_unique<phy::CachedLinkModel>(topo)),
+      links_(owned_links_.get()),
+      interf_(&interf) {}
+
+GlossyFlood::GlossyFlood(phy::LinkModel& links,
+                         const phy::InterferenceField& interf)
+    : links_(&links), interf_(&interf) {}
 
 sim::TimeUs GlossyFlood::step_len_us(const FloodParams& p,
                                      const phy::RadioConstants& radio) {
@@ -55,7 +71,21 @@ FloodResult GlossyFlood::run(phy::NodeId initiator,
                              const std::vector<NodeFloodConfig>& configs,
                              const FloodParams& params,
                              util::Pcg32& rng) const {
-  const int n = topo_->size();
+  FloodWorkspace ws;
+  FloodResult out;
+  run_into(initiator, configs, params, rng, ws, out);
+  return out;
+}
+
+void GlossyFlood::run_into(phy::NodeId initiator,
+                           const std::vector<NodeFloodConfig>& configs,
+                           const FloodParams& params, util::Pcg32& rng,
+                           FloodWorkspace& ws, FloodResult& out) const {
+  const phy::Topology& topo = links_->topology();
+  const int n = topo.size();
+  // Full argument validation happens here, once per flood; the per-link
+  // lookups inside the loop index the precomputed matrix with ids generated
+  // below, so they carry debug-only assertions (see util/check.hpp).
   DIMMER_REQUIRE(initiator >= 0 && initiator < n, "initiator out of range");
   DIMMER_REQUIRE(static_cast<int>(configs.size()) == n,
                  "one NodeFloodConfig per node required");
@@ -65,47 +95,52 @@ FloodResult GlossyFlood::run(phy::NodeId initiator,
   for (const auto& c : configs)
     DIMMER_REQUIRE(c.n_tx >= 0, "negative n_tx");
 
-  const phy::RadioConstants& radio = topo_->radio();
+  const phy::RadioConstants& radio = topo.radio();
   const sim::TimeUs step_len = step_len_us(params, radio);
   const int steps = max_steps(params, radio);
   const int frame_bytes = params.payload_bytes + radio.phy_overhead_bytes;
   const double noise_mw = phy::dbm_to_mw(radio.noise_floor_dbm);
+  // Loop invariants, hoisted: each is the exact expression the step loop
+  // historically evaluated per reception, so the bits are unchanged.
+  const double noise_dbm = phy::mw_to_dbm(noise_mw);
+  const double fading_sigma = topo.path_loss().fading_sigma_db;
+  const auto airtime_us =
+      static_cast<sim::TimeUs>(std::llround(radio.airtime_us(params.payload_bytes)));
+  const double coherence_gain = params.coherence_gain;
 
-  // Per-node dynamic state.
-  struct State {
-    bool has_packet = false;
-    int first_step = 0;   // step of first involvement; initiator uses -1
-    int tx_done = 0;
-    bool finished = false;  // radio off for the rest of the slot
-    sim::TimeUs radio_on = 0;
-  };
-  std::vector<State> st(static_cast<std::size_t>(n));
+  // Linear-domain link powers for this flood's TX power; cached across
+  // floods by the LinkModel (recomputed only when the power changes).
+  const phy::LinkMatrixView links = links_->prepare(params.tx_power_dbm);
 
-  FloodResult result;
-  result.nodes.assign(static_cast<std::size_t>(n), NodeFloodResult{});
-  result.participated_.assign(static_cast<std::size_t>(n), false);
-  result.initiator = initiator;
+  // Per-node dynamic state, in caller-owned scratch.
+  const auto un = static_cast<std::size_t>(n);
+  ws.state.assign(un, FloodWorkspace::NodeScratch{});
+  ws.is_tx.assign(un, 0);
+  ws.budget.resize(un);
+  ws.total_mw.resize(un);
+  ws.strongest_mw.resize(un);
+  ws.transmitters.clear();
+  ws.transmitters.reserve(un);
+
+  out.nodes.assign(un, NodeFloodResult{});
+  out.participated.assign(un, false);
+  out.steps_simulated = 0;
+  out.initiator = initiator;
 
   for (int i = 0; i < n; ++i) {
     const auto& cfg = configs[static_cast<std::size_t>(i)];
-    result.participated_[static_cast<std::size_t>(i)] = cfg.participates;
-    if (!cfg.participates) st[static_cast<std::size_t>(i)].finished = true;
+    out.participated[static_cast<std::size_t>(i)] = cfg.participates;
+    if (!cfg.participates) ws.state[static_cast<std::size_t>(i)].finished = true;
+    // The initiator sources the packet: it transmits at least once even if
+    // its own budget says 0 (a passive role never applies to one's own slot).
+    ws.budget[static_cast<std::size_t>(i)] =
+        i == initiator ? std::max(1, cfg.n_tx) : cfg.n_tx;
   }
   {
-    auto& init = st[static_cast<std::size_t>(initiator)];
+    auto& init = ws.state[static_cast<std::size_t>(initiator)];
     init.has_packet = true;
     init.first_step = -1;  // transmits at even steps 0, 2, 4, ...
   }
-
-  // The initiator sources the packet: it transmits at least once even if its
-  // own budget says 0 (a passive role never applies to one's own slot).
-  auto budget = [&](phy::NodeId i) {
-    int b = configs[static_cast<std::size_t>(i)].n_tx;
-    return i == initiator ? std::max(1, b) : b;
-  };
-
-  std::vector<phy::NodeId> transmitters;
-  transmitters.reserve(static_cast<std::size_t>(n));
 
   // Observability accumulators; only touched when a sink is attached.
   const bool observed = instr_.active();
@@ -115,92 +150,115 @@ FloodResult GlossyFlood::run(phy::NodeId initiator,
   for (int t = 0; t < steps; ++t) {
     // 1. Who transmits at this step? Alternation: a node first involved at
     //    step f transmits at f+1, f+3, ... while budget remains.
-    transmitters.clear();
+    ws.transmitters.clear();
     for (phy::NodeId i = 0; i < n; ++i) {
-      State& s = st[static_cast<std::size_t>(i)];
+      FloodWorkspace::NodeScratch& s = ws.state[static_cast<std::size_t>(i)];
       if (s.finished || !s.has_packet) continue;
-      if ((t - s.first_step) % 2 == 1 && s.tx_done < budget(i))
-        transmitters.push_back(i);
+      if ((t - s.first_step) % 2 == 1 &&
+          s.tx_done < ws.budget[static_cast<std::size_t>(i)]) {
+        ws.transmitters.push_back(i);
+        ws.is_tx[static_cast<std::size_t>(i)] = 1;
+      }
     }
+    const bool any_tx = !ws.transmitters.empty();
 
     // 2. Early exit: nobody transmits now, and nobody ever will again.
-    if (transmitters.empty()) {
+    if (!any_tx) {
       bool future_tx = false;
       for (phy::NodeId i = 0; i < n && !future_tx; ++i) {
-        const State& s = st[static_cast<std::size_t>(i)];
-        future_tx = !s.finished && s.has_packet && s.tx_done < budget(i);
+        const FloodWorkspace::NodeScratch& s =
+            ws.state[static_cast<std::size_t>(i)];
+        future_tx = !s.finished && s.has_packet &&
+                    s.tx_done < ws.budget[static_cast<std::size_t>(i)];
       }
       if (!future_tx) {
-        result.steps_simulated = t;
+        out.steps_simulated = t;
         break;
       }
     }
 
     const sim::TimeUs t0 = params.slot_start_us + t * step_len;
-    const sim::TimeUs t1 =
-        t0 + static_cast<sim::TimeUs>(
-                 std::llround(radio.airtime_us(params.payload_bytes)));
+    const sim::TimeUs t1 = t0 + airtime_us;
 
-    // 3. Receptions for every awake listener.
+    // 3a. Concurrent powers at every node: one contiguous matrix-row sweep
+    //     per transmitter. Per-listener accumulation visits transmitters in
+    //     the same ascending order as the historical per-listener loop, so
+    //     the floating-point sums are bit-identical.
+    if (any_tx) {
+      std::fill(ws.total_mw.begin(), ws.total_mw.end(), 0.0);
+      std::fill(ws.strongest_mw.begin(), ws.strongest_mw.end(), 0.0);
+      for (phy::NodeId tx : ws.transmitters) {
+        const double* row = links.row(tx);
+        double* total = ws.total_mw.data();
+        double* strongest = ws.strongest_mw.data();
+        for (int i = 0; i < n; ++i) {
+          const double p_mw = row[i];
+          total[i] += p_mw;
+          strongest[i] = std::max(strongest[i], p_mw);
+        }
+      }
+    }
+
+    // 3b. Receptions for every awake listener.
     for (phy::NodeId i = 0; i < n; ++i) {
-      State& s = st[static_cast<std::size_t>(i)];
+      FloodWorkspace::NodeScratch& s = ws.state[static_cast<std::size_t>(i)];
       if (s.finished) continue;
-      const bool is_tx = std::find(transmitters.begin(), transmitters.end(),
-                                   i) != transmitters.end();
       s.radio_on += step_len;  // TX or RX, the radio is on this step
-      if (is_tx || transmitters.empty()) continue;
+      if (ws.is_tx[static_cast<std::size_t>(i)] || !any_tx) continue;
       if (s.has_packet) continue;  // re-receptions only maintain sync
 
       // Partially-coherent combining of all concurrent identical frames.
-      double strongest_mw = 0.0, total_mw = 0.0;
-      for (phy::NodeId tx : transmitters) {
-        double p_mw = phy::dbm_to_mw(
-            topo_->rx_power_dbm(tx, i, params.tx_power_dbm));
-        total_mw += p_mw;
-        strongest_mw = std::max(strongest_mw, p_mw);
-      }
+      const double strongest_mw = ws.strongest_mw[static_cast<std::size_t>(i)];
+      const double total_mw = ws.total_mw[static_cast<std::size_t>(i)];
       double signal_mw =
-          strongest_mw + params.coherence_gain * (total_mw - strongest_mw);
+          strongest_mw + coherence_gain * (total_mw - strongest_mw);
       // Per-reception block fading at the listener.
-      double fading_sigma = topo_->path_loss().fading_sigma_db;
       if (fading_sigma > 0.0)
         signal_mw *= std::pow(10.0, rng.normal(0.0, fading_sigma) / 10.0);
 
       phy::InterferenceSample interf =
-          interf_->sample(t0, t1, params.channel, i, *topo_);
+          interf_->sample(t0, t1, params.channel, i, topo);
       if (observed) {
         exposure_sum += interf.exposure;
         ++exposure_n;
       }
-      double sinr_clean_db =
-          phy::mw_to_dbm(signal_mw) - phy::mw_to_dbm(noise_mw);
-      double sinr_jam_db = phy::mw_to_dbm(signal_mw) -
-                           phy::mw_to_dbm(noise_mw + interf.power_mw);
+      const double signal_dbm = phy::mw_to_dbm(signal_mw);
+      double sinr_clean_db = signal_dbm - noise_dbm;
+      // Zero interference power leaves the denominator at exactly noise_mw,
+      // so the hoisted noise_dbm is the same bits as recomputing it.
+      double sinr_jam_db =
+          interf.power_mw == 0.0
+              ? sinr_clean_db
+              : signal_dbm - phy::mw_to_dbm(noise_mw + interf.power_mw);
       double p_ok = phy::frame_success_prob(sinr_clean_db, sinr_jam_db,
                                             interf.exposure, frame_bytes);
       if (rng.bernoulli(p_ok)) {
         s.has_packet = true;
         s.first_step = t;
-        if (budget(i) == 0) s.finished = true;  // passive receiver: done
+        if (ws.budget[static_cast<std::size_t>(i)] == 0)
+          s.finished = true;  // passive receiver: done
       }
     }
 
     // 4. Transmitter bookkeeping (after receptions so a TX at step t is
-    //    heard at step t, not retroactively).
-    for (phy::NodeId tx : transmitters) {
-      State& s = st[static_cast<std::size_t>(tx)];
+    //    heard at step t, not retroactively). Also clears the step's marks.
+    for (phy::NodeId tx : ws.transmitters) {
+      FloodWorkspace::NodeScratch& s = ws.state[static_cast<std::size_t>(tx)];
       s.tx_done += 1;
-      if (s.tx_done >= budget(tx)) s.finished = true;
+      if (s.tx_done >= ws.budget[static_cast<std::size_t>(tx)])
+        s.finished = true;
+      ws.is_tx[static_cast<std::size_t>(tx)] = 0;
     }
-    result.steps_simulated = t + 1;
+    out.steps_simulated = t + 1;
   }
 
   // 5. Fill results. Nodes that never received and participated listened for
   //    the whole slot (the paper's pessimistic radio-on accounting).
   for (phy::NodeId i = 0; i < n; ++i) {
-    const State& s = st[static_cast<std::size_t>(i)];
-    NodeFloodResult& r = result.nodes[static_cast<std::size_t>(i)];
-    if (!result.participated_[static_cast<std::size_t>(i)]) continue;
+    const FloodWorkspace::NodeScratch& s =
+        ws.state[static_cast<std::size_t>(i)];
+    NodeFloodResult& r = out.nodes[static_cast<std::size_t>(i)];
+    if (!out.participated[static_cast<std::size_t>(i)]) continue;
     r.received = s.has_packet;
     r.first_rx_step = (i == initiator) ? 0 : (s.has_packet ? s.first_step : -1);
     r.transmissions = s.tx_done;
@@ -209,33 +267,32 @@ FloodResult GlossyFlood::run(phy::NodeId initiator,
                           : params.slot_len_us;
   }
 
-  if (observed) record(result, params, exposure_sum, exposure_n);
-  return result;
+  if (observed) record(out, params, exposure_sum, exposure_n);
 }
 
 void GlossyFlood::record(const FloodResult& result, const FloodParams& params,
                          double exposure_sum,
                          std::uint64_t exposure_n) const {
-  int transmissions = 0;
-  sim::TimeUs radio_on_total = 0;
-  for (std::size_t i = 0; i < result.nodes.size(); ++i) {
-    if (!result.participated_[i]) continue;
-    transmissions += result.nodes[i].transmissions;
-    radio_on_total += result.nodes[i].radio_on_us;
-  }
+  // Single O(n) pass over the result; historically receiver_count() alone
+  // was recomputed three times per recorded flood.
+  const FloodResult::Summary sum = result.summarize();
+  const double delivery =
+      sum.participants == 0
+          ? 1.0
+          : static_cast<double>(sum.receivers) / sum.participants;
   double mean_exposure =
       exposure_n > 0 ? exposure_sum / static_cast<double>(exposure_n) : 0.0;
 
   if (instr_.metrics) {
     obs::MetricsRegistry& m = *instr_.metrics;
     m.counter("flood.runs") += 1;
-    m.counter("flood.receivers") +=
-        static_cast<std::uint64_t>(result.receiver_count());
-    m.counter("flood.transmissions") += static_cast<std::uint64_t>(transmissions);
+    m.counter("flood.receivers") += static_cast<std::uint64_t>(sum.receivers);
+    m.counter("flood.transmissions") +=
+        static_cast<std::uint64_t>(sum.transmissions);
     m.counter("flood.steps") +=
         static_cast<std::uint64_t>(result.steps_simulated);
     m.histogram("flood.radio_on_us", {1000, 2000, 5000, 10000, 20000})
-        .add(static_cast<double>(radio_on_total));
+        .add(static_cast<double>(sum.radio_on_us));
     m.histogram("flood.exposure", {0.01, 0.05, 0.1, 0.25, 0.5, 0.75})
         .add(mean_exposure);
   }
@@ -245,11 +302,11 @@ void GlossyFlood::record(const FloodResult& result, const FloodParams& params,
     e.round = params.trace_round;
     e.t_us = params.slot_start_us;
     e.node = result.initiator;
-    e.f("receivers", result.receiver_count())
-        .f("delivery_ratio", result.delivery_ratio())
+    e.f("receivers", sum.receivers)
+        .f("delivery_ratio", delivery)
         .f("steps", result.steps_simulated)
-        .f("transmissions", transmissions)
-        .f("radio_on_us", static_cast<double>(radio_on_total))
+        .f("transmissions", sum.transmissions)
+        .f("radio_on_us", static_cast<double>(sum.radio_on_us))
         .f("exposure", mean_exposure)
         .f("channel", params.channel);
     instr_.trace->emit(e);

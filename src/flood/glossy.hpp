@@ -14,15 +14,25 @@
 // Bit-level constructive-interference fidelity is *not* modelled; see
 // DESIGN.md ("Substitutions") for why slot-level behaviour is what Dimmer's
 // control loop observes.
+//
+// Hot path (DESIGN.md §10): link powers come from a phy::LinkModel — a
+// precomputed linear-domain (mW) matrix — rather than per-reception
+// dBm->mW conversions, and all per-flood scratch lives in a caller-owned
+// FloodWorkspace so `run_into` allocates nothing in steady state. Results
+// are bit-identical to the historical direct-Topology engine (asserted by
+// tests/flood/test_differential.cpp against a frozen reference copy).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include <cstdint>
 
+#include "flood/workspace.hpp"
 #include "obs/trace.hpp"
 #include "phy/channels.hpp"
 #include "phy/interference.hpp"
+#include "phy/link_model.hpp"
 #include "phy/topology.hpp"
 #include "sim/time.hpp"
 #include "util/rng.hpp"
@@ -66,28 +76,50 @@ struct NodeFloodResult {
 /// Whole-flood outcome.
 struct FloodResult {
   std::vector<NodeFloodResult> nodes;
+  /// Per node: whether it took part in the flood. Non-participants keep a
+  /// default NodeFloodResult and are excluded from every aggregate below.
+  std::vector<bool> participated;
   int steps_simulated = 0;
   phy::NodeId initiator = -1;
 
+  /// All aggregate counts, computed in a single O(n) pass.
+  struct Summary {
+    int receivers = 0;     ///< participating non-initiator nodes that received
+    int participants = 0;  ///< participating non-initiator nodes
+    int transmissions = 0; ///< total TX count incl. the initiator
+    sim::TimeUs radio_on_us = 0;  ///< summed over participants incl. initiator
+  };
+  Summary summarize() const;
+
   /// Number of participating non-initiator nodes that received the packet.
-  int receiver_count() const;
+  int receiver_count() const { return summarize().receivers; }
   /// received / participating non-initiator nodes (1.0 if none participate).
   double delivery_ratio() const;
 
-  /// A flood that never happened (crashed initiator): `n_nodes` entries, no
-  /// receptions, no participants, no energy. Used for orphaned control slots.
-  static FloodResult silent(int n_nodes, phy::NodeId initiator);
+  /// Reinitializes in place as a flood that never happened (crashed
+  /// initiator): `n_nodes` entries, no receptions, no participants, no
+  /// energy. Reuses existing capacity — no allocation in steady state.
+  void make_silent(int n_nodes, phy::NodeId initiator);
 
- private:
-  friend class GlossyFlood;
-  std::vector<bool> participated_;
+  /// Convenience wrapper around make_silent for fresh results.
+  static FloodResult silent(int n_nodes, phy::NodeId initiator);
 };
 
-/// Stateless flood simulator bound to a topology + interference field.
+/// Flood simulator bound to a link model + interference field.
+///
+/// The engine itself is stateless across floods except for the link-power
+/// cache inside its LinkModel, so a single engine instance is meant to live
+/// as long as its topology (lwb::RoundExecutor owns one for the whole
+/// simulation). Like a Pcg32, one engine must not run floods concurrently
+/// from multiple threads; independent trials own independent engines.
 class GlossyFlood {
  public:
-  GlossyFlood(const phy::Topology& topo, const phy::InterferenceField& interf)
-      : topo_(&topo), interf_(&interf) {}
+  /// Convenience: binds an internally-owned CachedLinkModel over `topo`.
+  GlossyFlood(const phy::Topology& topo, const phy::InterferenceField& interf);
+
+  /// Binds an external LinkModel backend (non-owning; must outlive the
+  /// engine). This is the seam for alternate PHY backends.
+  GlossyFlood(phy::LinkModel& links, const phy::InterferenceField& interf);
 
   /// Number of airtime steps that fit in a slot.
   static int max_steps(const FloodParams& p, const phy::RadioConstants& radio);
@@ -97,19 +129,34 @@ class GlossyFlood {
                                  const phy::RadioConstants& radio);
 
   /// Runs one flood. `configs` must have one entry per topology node.
+  /// Convenience wrapper over run_into with one-shot scratch/result storage.
   FloodResult run(phy::NodeId initiator,
                   const std::vector<NodeFloodConfig>& configs,
                   const FloodParams& params, util::Pcg32& rng) const;
+
+  /// Hot-path entry: identical semantics to run(), but every byte of
+  /// per-flood state lives in `ws` and `out`, so repeated calls with the
+  /// same workspace/result perform zero heap allocations (asserted by
+  /// tests/flood/test_workspace.cpp). `ws` and `out` are overwritten.
+  void run_into(phy::NodeId initiator,
+                const std::vector<NodeFloodConfig>& configs,
+                const FloodParams& params, util::Pcg32& rng,
+                FloodWorkspace& ws, FloodResult& out) const;
 
   /// Optional observability hooks (see obs/trace.hpp). Sinks never touch the
   /// RNG stream or control flow, so results are identical with or without.
   void set_instrumentation(obs::Instrumentation instr) { instr_ = instr; }
 
+  const phy::LinkModel& link_model() const { return *links_; }
+
  private:
   void record(const FloodResult& result, const FloodParams& params,
               double exposure_sum, std::uint64_t exposure_n) const;
 
-  const phy::Topology* topo_;
+  std::unique_ptr<phy::CachedLinkModel> owned_links_;  // only for the
+                                                       // Topology convenience
+                                                       // constructor
+  phy::LinkModel* links_;
   const phy::InterferenceField* interf_;
   obs::Instrumentation instr_;
 };

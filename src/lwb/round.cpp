@@ -9,12 +9,13 @@ namespace dimmer::lwb {
 RoundExecutor::RoundExecutor(const phy::Topology& topo,
                              const phy::InterferenceField& interference,
                              RoundConfig cfg)
-    : topo_(&topo), interf_(&interference), cfg_(std::move(cfg)) {
+    : topo_(&topo), cfg_(std::move(cfg)), engine_(topo, interference) {
   DIMMER_REQUIRE(phy::is_valid_channel(cfg_.control_channel),
                  "invalid control channel");
   for (phy::Channel c : cfg_.hop_sequence)
     DIMMER_REQUIRE(phy::is_valid_channel(c), "invalid hopping channel");
   DIMMER_REQUIRE(cfg_.max_sync_age >= 0, "max_sync_age must be >= 0");
+  ws_.reserve(topo.size());
 }
 
 phy::Channel RoundExecutor::data_channel(std::uint64_t round_index,
@@ -38,6 +39,21 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
                                      std::vector<NodeState>& states,
                                      util::Pcg32& rng,
                                      const RoundDisruptions* disruptions) const {
+  RoundResult result;
+  run_round_into(start, round_index, coordinator, data_sources, next_n_tx,
+                 states, rng, disruptions, result);
+  return result;
+}
+
+void RoundExecutor::run_round_into(sim::TimeUs start,
+                                   std::uint64_t round_index,
+                                   phy::NodeId coordinator,
+                                   const std::vector<phy::NodeId>& data_sources,
+                                   int next_n_tx,
+                                   std::vector<NodeState>& states,
+                                   util::Pcg32& rng,
+                                   const RoundDisruptions* disruptions,
+                                   RoundResult& result) const {
   const int n = topo_->size();
   DIMMER_REQUIRE(coordinator >= 0 && coordinator < n,
                  "coordinator out of range");
@@ -58,15 +74,15 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
   const bool coordinator_alive =
       !states[static_cast<std::size_t>(coordinator)].failed;
 
-  RoundResult result;
+  // All result buffers are assign()ed, not reconstructed: with a reused
+  // RoundResult the existing capacity (including each slot's FloodResult)
+  // is recycled and the round runs allocation-free.
   result.radio_on_us.assign(static_cast<std::size_t>(n), 0);
   result.control_radio_on_us.assign(static_cast<std::size_t>(n), 0);
   result.awake_slots.assign(static_cast<std::size_t>(n), 0);
   result.got_control.assign(static_cast<std::size_t>(n), false);
   result.duration_us = round_duration(data_sources.size());
-
-  flood::GlossyFlood engine(*topo_, *interf_);
-  engine.set_instrumentation(instr_);
+  result.data.resize(data_sources.size());
 
   // --- Control slot: everyone listens (desynced nodes are trying to
   // re-bootstrap on the control channel anyway).
@@ -80,9 +96,9 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
     params.coherence_gain = cfg_.coherence_gain;
     params.trace_round = round_index;
 
-    std::vector<flood::NodeFloodConfig> cfgs(static_cast<std::size_t>(n));
+    slot_cfgs_.assign(static_cast<std::size_t>(n), flood::NodeFloodConfig{});
     for (int i = 0; i < n; ++i) {
-      auto& c = cfgs[static_cast<std::size_t>(i)];
+      auto& c = slot_cfgs_[static_cast<std::size_t>(i)];
       // Desynchronized nodes cannot relay (they have no slot alignment);
       // they listen only. Passive receivers do not relay either.
       bool synced = states[static_cast<std::size_t>(i)].sync_age <=
@@ -95,7 +111,8 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
       c.participates = !states[static_cast<std::size_t>(i)].failed &&
                        (!deaf(i) || i == coordinator);
     }
-    result.control = engine.run(coordinator, cfgs, params, rng);
+    engine_.run_into(coordinator, slot_cfgs_, params, rng, ws_,
+                     result.control);
 
     for (int i = 0; i < n; ++i) {
       auto& s = states[static_cast<std::size_t>(i)];
@@ -127,7 +144,7 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
   } else {
     // Orphaned round: the schedule flood never starts. Every alive node
     // listens the full control slot in vain and its sync age advances.
-    result.control = flood::FloodResult::silent(n, coordinator);
+    result.control.make_silent(n, coordinator);
     for (int i = 0; i < n; ++i) {
       auto& s = states[static_cast<std::size_t>(i)];
       s.sync_age += 1;
@@ -141,9 +158,8 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
 
   // --- Data slots.
   sim::TimeUs slot_start = start + cfg_.slot_len_us + cfg_.slot_gap_us;
-  result.data.reserve(data_sources.size());
   for (std::size_t k = 0; k < data_sources.size(); ++k) {
-    DataSlotOutcome out;
+    DataSlotOutcome& out = result.data[k];
     out.source = data_sources[k];
     out.channel = data_channel(round_index, k);
 
@@ -163,9 +179,9 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
       params.coherence_gain = cfg_.coherence_gain;
       params.trace_round = round_index;
 
-      std::vector<flood::NodeFloodConfig> cfgs(static_cast<std::size_t>(n));
+      slot_cfgs_.assign(static_cast<std::size_t>(n), flood::NodeFloodConfig{});
       for (int i = 0; i < n; ++i) {
-        auto& c = cfgs[static_cast<std::size_t>(i)];
+        auto& c = slot_cfgs_[static_cast<std::size_t>(i)];
         const auto& s = states[static_cast<std::size_t>(i)];
         // A deaf node cannot receive (or relay), but a deaf *source* still
         // initiates its own slot — blackouts blind receivers, not TX.
@@ -174,7 +190,7 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
         // flood engine forces the initiator to transmit).
         c.n_tx = (s.forwarder || i == coordinator) ? s.n_tx : 0;
       }
-      out.flood = engine.run(out.source, cfgs, params, rng);
+      engine_.run_into(out.source, slot_cfgs_, params, rng, ws_, out.flood);
 
       for (int i = 0; i < n; ++i) {
         if (!synced(i)) continue;
@@ -185,8 +201,13 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
         result.awake_slots[static_cast<std::size_t>(i)] += 1;
       }
     } else {
-      // Silent slot: synced nodes still listen the full slot for a packet
-      // that never comes (pessimistic accounting, as in the paper).
+      // Silent slot: the flood never runs — reset any reused buffer to the
+      // documented "empty flood" state. Synced nodes still listen the full
+      // slot for a packet that never comes (pessimistic accounting).
+      out.flood.nodes.clear();
+      out.flood.participated.clear();
+      out.flood.steps_simulated = 0;
+      out.flood.initiator = -1;
       for (int i = 0; i < n; ++i) {
         if (!synced(i)) continue;
         result.radio_on_us[static_cast<std::size_t>(i)] += cfg_.slot_len_us;
@@ -204,7 +225,6 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
       }
     }
 
-    result.data.push_back(std::move(out));
     slot_start += cfg_.slot_len_us + cfg_.slot_gap_us;
   }
 
@@ -242,7 +262,6 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
       instr_.trace->emit(e);
     }
   }
-  return result;
 }
 
 }  // namespace dimmer::lwb

@@ -96,6 +96,14 @@ struct RoundResult {
   sim::TimeUs duration_us = 0;
 };
 
+/// Executes LWB rounds over a persistent flood engine.
+///
+/// The executor owns the engine (and through it the cached mW link matrix)
+/// plus a FloodWorkspace and per-slot config scratch, so steady-state rounds
+/// perform no per-flood heap allocations; see DESIGN.md §10. One executor
+/// serves one simulation thread — run_round reuses internal scratch, so
+/// concurrent calls on the same instance are not allowed (the experiment
+/// runner gives every trial its own DimmerNetwork, hence its own executor).
 class RoundExecutor {
  public:
   RoundExecutor(const phy::Topology& topo,
@@ -119,6 +127,17 @@ class RoundExecutor {
                         util::Pcg32& rng,
                         const RoundDisruptions* disruptions = nullptr) const;
 
+  /// Hot-path variant: identical semantics to run_round, but writes into a
+  /// caller-owned RoundResult whose buffers (including every slot's
+  /// FloodResult) are reused across rounds — with a stable source count the
+  /// whole round executes without heap allocations. `result` is overwritten.
+  void run_round_into(sim::TimeUs start, std::uint64_t round_index,
+                      phy::NodeId coordinator,
+                      const std::vector<phy::NodeId>& data_sources,
+                      int next_n_tx, std::vector<NodeState>& states,
+                      util::Pcg32& rng, const RoundDisruptions* disruptions,
+                      RoundResult& result) const;
+
   const RoundConfig& config() const { return cfg_; }
   const phy::Topology& topology() const { return *topo_; }
 
@@ -131,13 +150,19 @@ class RoundExecutor {
 
   /// Optional observability hooks; forwarded to the flood engine for every
   /// slot. Purely observational — results are identical with or without.
-  void set_instrumentation(obs::Instrumentation instr) { instr_ = instr; }
+  void set_instrumentation(obs::Instrumentation instr) {
+    instr_ = instr;
+    engine_.set_instrumentation(instr);
+  }
 
  private:
   const phy::Topology* topo_;
-  const phy::InterferenceField* interf_;
   RoundConfig cfg_;
+  flood::GlossyFlood engine_;  ///< persistent: keeps the mW link cache warm
   obs::Instrumentation instr_;
+  // Reused per-round scratch (hence "one executor per simulation thread").
+  mutable flood::FloodWorkspace ws_;
+  mutable std::vector<flood::NodeFloodConfig> slot_cfgs_;
 };
 
 }  // namespace dimmer::lwb

@@ -1,0 +1,30 @@
+#include "phy/link_model.hpp"
+
+#include "phy/propagation.hpp"
+
+namespace dimmer::phy {
+
+CachedLinkModel::CachedLinkModel(const Topology& topo) : topo_(&topo) {
+  const auto n = static_cast<std::size_t>(topo.size());
+  mw_.resize(n * n);
+}
+
+LinkMatrixView CachedLinkModel::prepare(double tx_power_dbm) {
+  const int n = topo_->size();
+  if (!valid_ || tx_power_dbm != cached_power_dbm_) {
+    // Exactly the expression the flood engine historically evaluated inline
+    // per reception; precomputing it here is what keeps results bit-identical.
+    for (NodeId tx = 0; tx < n; ++tx) {
+      double* row = mw_.data() + static_cast<std::size_t>(tx) *
+                                     static_cast<std::size_t>(n);
+      for (NodeId rx = 0; rx < n; ++rx)
+        row[rx] = dbm_to_mw(topo_->rx_power_dbm(tx, rx, tx_power_dbm));
+    }
+    cached_power_dbm_ = tx_power_dbm;
+    valid_ = true;
+    ++rebuilds_;
+  }
+  return LinkMatrixView{mw_.data(), n};
+}
+
+}  // namespace dimmer::phy

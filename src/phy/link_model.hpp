@@ -1,0 +1,79 @@
+// The PHY <-> flood seam: linear-domain link powers behind an interface.
+//
+// The flood engine's inner loop needs one number per (tx, rx) pair: the
+// received power in mW when `tx` transmits at the flood's TX power. Computing
+// it from the Topology on every reception costs a pow(10, x/10) per listener
+// per transmitter per step. A LinkModel answers the same question through a
+// precomputed row-major matrix instead: `prepare(tx_power_dbm)` returns a
+// LinkMatrixView whose entries are computed *once* per (topology, power) with
+// the exact same expression the direct path used —
+//
+//     dbm_to_mw(topo.rx_power_dbm(tx, rx, tx_power_dbm))
+//
+// — so flood results stay bit-identical to evaluating the Topology inline.
+//
+// The seam also decouples the flood engine from the Topology class itself:
+// alternate backends (trace-driven gain matrices, GPU-resident batches,
+// time-varying channels) only need to produce a LinkMatrixView.
+#pragma once
+
+#include <vector>
+
+#include "phy/topology.hpp"
+
+namespace dimmer::phy {
+
+/// Non-owning view of a row-major n*n linear-domain (mW) link-power matrix.
+/// `row(tx)[rx]` is the received power at `rx` for a transmission from `tx`
+/// at the power the view was prepared for. Valid until the next `prepare()`
+/// call on (or destruction of) the model that produced it.
+struct LinkMatrixView {
+  const double* mw = nullptr;
+  int n = 0;
+
+  const double* row(NodeId tx) const {
+    return mw + static_cast<std::size_t>(tx) * static_cast<std::size_t>(n);
+  }
+};
+
+/// Interface the flood engine consumes instead of poking Topology directly.
+///
+/// Implementations are stateful caches: `prepare` may recompute internal
+/// storage, so a single LinkModel instance must not be shared by concurrently
+/// running flood engines (one model per simulation thread, as with RNGs).
+class LinkModel {
+ public:
+  virtual ~LinkModel() = default;
+
+  /// The topology this model describes (radio constants, interference
+  /// geometry). Every view has exactly `topology().size()` rows/columns.
+  virtual const Topology& topology() const = 0;
+
+  /// Returns the mW link matrix for `tx_power_dbm`. Implementations cache:
+  /// repeated calls with the same power are O(1).
+  virtual LinkMatrixView prepare(double tx_power_dbm) = 0;
+};
+
+/// The standard backend: caches one matrix keyed by the last-prepared TX
+/// power. Recomputes only when the power changes (floods within a protocol
+/// run virtually always share one TX power, so steady state is one compute
+/// per topology).
+class CachedLinkModel final : public LinkModel {
+ public:
+  explicit CachedLinkModel(const Topology& topo);
+
+  const Topology& topology() const override { return *topo_; }
+  LinkMatrixView prepare(double tx_power_dbm) override;
+
+  /// Number of full matrix recomputations so far (test/bench introspection).
+  int rebuilds() const { return rebuilds_; }
+
+ private:
+  const Topology* topo_;
+  std::vector<double> mw_;  // row-major size*size
+  double cached_power_dbm_ = 0.0;
+  bool valid_ = false;
+  int rebuilds_ = 0;
+};
+
+}  // namespace dimmer::phy

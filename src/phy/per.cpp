@@ -41,11 +41,23 @@ double frame_success_prob(double sinr_clean_db, double sinr_jammed_db,
   if (jam_fraction < 0.0) jam_fraction = 0.0;
   if (jam_fraction > 1.0) jam_fraction = 1.0;
   double bits = 8.0 * frame_bytes;
+  // Degenerate fractions short-circuit one ber_802154 evaluation (15 exp
+  // calls) and one pow. Bit-identical to the general expression below:
+  // bits * 0.0 == +0.0, pow(x, +0.0) == 1.0, and p * 1.0 == p exactly.
+  if (jam_fraction == 0.0)
+    return std::pow(1.0 - ber_802154(sinr_clean_db), bits);
+  if (jam_fraction == 1.0)
+    return std::pow(1.0 - ber_802154(sinr_jammed_db), bits);
   double clean_bits = bits * (1.0 - jam_fraction);
   double jam_bits = bits * jam_fraction;
-  double p = std::pow(1.0 - ber_802154(sinr_clean_db), clean_bits) *
-             std::pow(1.0 - ber_802154(sinr_jammed_db), jam_bits);
-  return p;
+  // Equal SINRs (zero interference power under a nonzero exposure) give
+  // bitwise-equal BERs; skip the duplicate evaluation.
+  double ber_clean = ber_802154(sinr_clean_db);
+  double ber_jam = sinr_jammed_db == sinr_clean_db
+                       ? ber_clean
+                       : ber_802154(sinr_jammed_db);
+  return std::pow(1.0 - ber_clean, clean_bits) *
+         std::pow(1.0 - ber_jam, jam_bits);
 }
 
 }  // namespace dimmer::phy

@@ -50,8 +50,11 @@ Vec2 Topology::position(NodeId n) const {
 }
 
 double Topology::gain_db(NodeId tx, NodeId rx) const {
-  DIMMER_REQUIRE(tx >= 0 && tx < size() && rx >= 0 && rx < size(),
-                 "node id out of range");
+  // Hot accessor: called O(n^2) per link-matrix build and per BFS sweep.
+  // Bounds are validated at the enclosing API boundaries (flood entry,
+  // hop_counts), so the per-call check is debug-only.
+  DIMMER_DEBUG_ASSERT(tx >= 0 && tx < size() && rx >= 0 && rx < size(),
+                      "node id out of range");
   return gain_[static_cast<std::size_t>(tx) * size() + rx];
 }
 
@@ -74,6 +77,21 @@ double Topology::gain_from_point_db(Vec2 p, NodeId rx,
 double Topology::sinr_threshold_db(int frame_bytes, double target_per) {
   DIMMER_REQUIRE(target_per > 0.0 && target_per < 1.0,
                  "target_per out of (0,1)");
+  // The bisection is a pure function of (frame_bytes, target_per) but costs
+  // 60 per_802154 evaluations; hop_counts historically re-ran it on every
+  // call (make_random_topology: up to 256 calls per topology). Memoize the
+  // handful of distinct argument pairs per thread — the cached value is the
+  // bisection's own output, so results are unchanged.
+  struct Entry {
+    int frame_bytes;
+    double target_per;
+    double threshold;
+  };
+  thread_local std::vector<Entry> cache;
+  for (const Entry& e : cache)
+    if (e.frame_bytes == frame_bytes && e.target_per == target_per)
+      return e.threshold;
+
   double lo = -10.0, hi = 20.0;
   for (int i = 0; i < 60; ++i) {
     double mid = 0.5 * (lo + hi);
@@ -82,6 +100,7 @@ double Topology::sinr_threshold_db(int frame_bytes, double target_per) {
     else
       hi = mid;
   }
+  cache.push_back(Entry{frame_bytes, target_per, hi});
   return hi;
 }
 

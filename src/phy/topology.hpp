@@ -29,9 +29,13 @@ class Topology {
   std::uint64_t shadow_seed() const { return shadow_seed_; }
 
   /// Link gain in dB between two nodes (path loss + static shadowing, < 0).
+  /// Hot accessor: bounds are checked in debug builds only — callers are
+  /// expected to validate node ids at their own API boundary (the flood
+  /// engine does so at flood entry).
   double gain_db(NodeId tx, NodeId rx) const;
 
-  /// Received power in dBm at `rx` for a transmission from `tx`.
+  /// Received power in dBm at `rx` for a transmission from `tx`. Same
+  /// debug-only bounds policy as gain_db.
   double rx_power_dbm(NodeId tx, NodeId rx, double tx_power_dbm) const;
 
   /// Gain from an arbitrary point (e.g. a jammer) to a node. `shadow_tag`
@@ -44,6 +48,8 @@ class Topology {
                               double tx_power_dbm = 0.0) const;
 
   /// Smallest SINR (dB) with per_802154(sinr, frame_bytes) <= target_per.
+  /// Memoized per thread: the 60-iteration bisection runs once per distinct
+  /// (frame_bytes, target_per) pair.
   static double sinr_threshold_db(int frame_bytes, double target_per);
 
  private:

@@ -57,3 +57,16 @@ namespace detail {
       ::dimmer::util::detail::check_failed("REQUIRE", #expr, __FILE__,       \
                                            __LINE__, (msg));                 \
   } while (false)
+
+// Debug-only precondition for *hot* accessors whose arguments have already
+// been validated at the enclosing API boundary (e.g. per-link Topology reads
+// inside the flood loop, which validates every node id at flood entry).
+// Compiled out under NDEBUG; behaves like DIMMER_REQUIRE in debug builds.
+#ifdef NDEBUG
+#define DIMMER_DEBUG_ASSERT(expr, msg) \
+  do {                                 \
+    (void)sizeof(expr);                \
+  } while (false)
+#else
+#define DIMMER_DEBUG_ASSERT(expr, msg) DIMMER_REQUIRE(expr, msg)
+#endif

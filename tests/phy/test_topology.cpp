@@ -62,8 +62,12 @@ TEST(Topology, GainFromPointIsStablePerTag) {
 
 TEST(Topology, RejectsBadNodeIds) {
   Topology t = make_office18_topology();
+#ifndef NDEBUG
+  // Hot-path accessors validate bounds only in debug builds (DESIGN.md §10);
+  // release builds rely on the flood-entry validation instead.
   EXPECT_THROW(t.gain_db(-1, 0), util::RequireError);
   EXPECT_THROW(t.gain_db(0, 18), util::RequireError);
+#endif
   EXPECT_THROW(t.position(99), util::RequireError);
 }
 
