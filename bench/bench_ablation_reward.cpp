@@ -8,7 +8,6 @@
 // Each (C, model) pair trains as one trial on exp::Runner — the dominant
 // cost here is DQN training, which parallelises across DIMMER_JOBS workers
 // over a shared read-only trace dataset.
-#include <chrono>
 #include <iostream>
 
 #include "bench/common.hpp"
@@ -20,6 +19,7 @@
 #include "rl/quantized.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/wallclock.hpp"
 
 using namespace dimmer;
 
@@ -85,11 +85,9 @@ int main() {
   };
 
   exp::Runner runner;
-  auto t0 = std::chrono::steady_clock::now();
+  util::Stopwatch sw;
   std::vector<exp::Trial> trials = runner.run(std::move(specs), trial);
-  double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  double wall = sw.seconds();
   bench::require_all_ok(trials);
 
   util::Table table({"C", "reliability", "radio-on [ms]", "mean N_TX",

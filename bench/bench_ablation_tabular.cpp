@@ -11,7 +11,6 @@
 //
 // The two agents train as parallel trials on exp::Runner over a shared
 // read-only trace dataset (DQN training dominates the wall-clock).
-#include <chrono>
 #include <iostream>
 
 #include "bench/common.hpp"
@@ -22,6 +21,7 @@
 #include "phy/topology.hpp"
 #include "rl/quantized.hpp"
 #include "util/table.hpp"
+#include "util/wallclock.hpp"
 
 using namespace dimmer;
 
@@ -125,11 +125,9 @@ int main() {
   };
 
   exp::Runner runner;
-  auto t0 = std::chrono::steady_clock::now();
+  util::Stopwatch sw;
   std::vector<exp::Trial> trials = runner.run(std::move(specs), trial);
-  double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  double wall = sw.seconds();
   bench::require_all_ok(trials);
   const exp::TrialResult& dq = trials[0].result;
   const exp::TrialResult& tb = trials[1].result;

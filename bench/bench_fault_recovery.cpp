@@ -18,7 +18,6 @@
 // The PID controller keeps the bench self-contained (no policy training);
 // warm-vs-cold differences show up in its integral state the same way they
 // would in the DQN's history window.
-#include <chrono>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -32,6 +31,7 @@
 #include "fault/plan.hpp"
 #include "phy/topology.hpp"
 #include "util/table.hpp"
+#include "util/wallclock.hpp"
 
 using namespace dimmer;
 
@@ -147,11 +147,9 @@ int main() {
   };
 
   exp::Runner runner;
-  auto t0 = std::chrono::steady_clock::now();
+  util::Stopwatch sw;
   std::vector<exp::Trial> trials = runner.run(std::move(specs), trial);
-  double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  double wall = sw.seconds();
   bench::require_all_ok(trials);
 
   util::Table out({"scenario", "pre rel.", "post rel.", "dip", "resync [rounds]",

@@ -10,7 +10,6 @@
 // The three controller runs execute as parallel trials on exp::Runner
 // (DIMMER_JOBS workers); each trial owns its topology, interference field
 // and network, so the table below is identical for every job count.
-#include <chrono>
 #include <cmath>
 #include <iostream>
 #include <memory>
@@ -25,6 +24,7 @@
 #include "phy/topology.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/wallclock.hpp"
 
 using namespace dimmer;
 
@@ -110,11 +110,9 @@ int main() {
   };
 
   exp::Runner runner;
-  auto t0 = std::chrono::steady_clock::now();
+  util::Stopwatch sw;
   std::vector<exp::Trial> trials = runner.run(std::move(specs), trial);
-  double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  double wall = sw.seconds();
   bench::require_all_ok(trials);
 
   util::Table summary(

@@ -14,7 +14,6 @@
 // Every (level, protocol, run) cell is one trial on exp::Runner; the tables
 // aggregate per-cell metrics in spec order, so output is identical for any
 // DIMMER_JOBS.
-#include <chrono>
 #include <iostream>
 #include <string>
 
@@ -27,6 +26,7 @@
 #include "phy/topology.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/wallclock.hpp"
 
 using namespace dimmer;
 
@@ -87,11 +87,9 @@ int main() {
   };
 
   exp::Runner runner;
-  auto t0 = std::chrono::steady_clock::now();
+  util::Stopwatch sw;
   std::vector<exp::Trial> trials = runner.run(std::move(specs), trial);
-  double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  double wall = sw.seconds();
   bench::require_all_ok(trials);
 
   util::Table t5a({"interference", "protocol", "reliability", "stddev"});

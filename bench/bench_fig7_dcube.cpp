@@ -14,7 +14,6 @@
 //
 // Every (episode, protocol, run) cell is a trial on exp::Runner; DIMMER_JOBS
 // workers share nothing mutable, so the table is job-count independent.
-#include <chrono>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -32,6 +31,7 @@
 #include "rl/quantized.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/wallclock.hpp"
 
 using namespace dimmer;
 
@@ -120,11 +120,9 @@ int main() {
   };
 
   exp::Runner runner;
-  auto t0 = std::chrono::steady_clock::now();
+  util::Stopwatch sw;
   std::vector<exp::Trial> trials = runner.run(std::move(specs), trial);
-  double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  double wall = sw.seconds();
   bench::require_all_ok(trials);
 
   phy::EnergyModel energy;

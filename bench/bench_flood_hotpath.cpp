@@ -10,7 +10,6 @@
 //
 // Timing fields here are measurements, not simulation outputs: this file is
 // exempt from the byte-identity rule that covers the figure benches.
-#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -26,6 +25,7 @@
 #include "tests/flood/reference_glossy.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
+#include "util/wallclock.hpp"
 
 using namespace dimmer;
 
@@ -51,11 +51,7 @@ struct Timing {
   }
 };
 
-double now_sec() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+double now_sec() { return util::wallclock_seconds(); }
 
 flood::FloodParams params_for(int flood_idx) {
   flood::FloodParams p;

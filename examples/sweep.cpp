@@ -7,7 +7,6 @@
 // Results are bit-identical for every DIMMER_JOBS value: each trial owns
 // its topology/network, and aggregation happens in spec order after the
 // worker pool drains.
-#include <chrono>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -20,6 +19,7 @@
 #include "phy/topology.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/wallclock.hpp"
 
 using namespace dimmer;
 
@@ -74,11 +74,9 @@ int main() {
   exp::Runner runner;
   std::cout << "running " << specs.size() << " trials on " << runner.jobs()
             << " worker(s)...\n\n";
-  auto t0 = std::chrono::steady_clock::now();
+  util::Stopwatch sw;
   std::vector<exp::Trial> trials = runner.run(std::move(specs), trial);
-  double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  double wall = sw.seconds();
 
   util::Table table(
       {"N_TX", "reliability", "stddev", "radio-on [ms]", "rounds"});

@@ -47,6 +47,7 @@ CrystalNetwork::EpochStats CrystalNetwork::run_epoch() {
 
   // Floods reuse the persistent engine plus caller-owned workspace/result
   // buffers, so steady-state epochs run without flood-path allocations.
+  // dimmer-lint: hot-path begin — every S/T/A slot funnels through here.
   auto run_flood = [&](phy::NodeId initiator, int bytes, phy::Channel ch,
                        flood::FloodResult& r) {
     flood::FloodParams params;
@@ -63,6 +64,7 @@ CrystalNetwork::EpochStats CrystalNetwork::run_epoch() {
     ++slots_run;
     t += cfg_.slot_len_us;
   };
+  // dimmer-lint: hot-path end
 
   // --- S slot: sink-initiated synchronization flood on the first hop
   // channel. Nodes that miss it sit the epoch out (rare; counted as energy).
@@ -226,7 +228,8 @@ CrystalCollectionResult run_crystal_collection(CrystalNetwork& net,
     ++result.epochs;
   }
   result.reliability = result.sent > 0
-                           ? static_cast<double>(result.delivered) / result.sent
+                           ? static_cast<double>(result.delivered) /
+                                 static_cast<double>(result.sent)
                            : 1.0;
   result.radio_on_ms = radio.mean();
   if (result.epochs > 0)

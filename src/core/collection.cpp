@@ -83,7 +83,8 @@ CollectionResult run_collection(DimmerNetwork& net,
 
   result.reliability =
       result.sent > 0
-          ? static_cast<double>(result.delivered) / result.sent
+          ? static_cast<double>(result.delivered) /
+                static_cast<double>(result.sent)
           : 1.0;
   result.radio_on_ms = radio.mean();
   result.avg_n_tx = n_tx.mean();

@@ -60,8 +60,13 @@ int DqnController::decide(const GlobalSnapshot& snapshot, bool round_lossless,
         .f("n_tx", next_n_tx)
         .f("prev_n_tx", current_n_tx)
         .f("lossless", round_lossless ? 1.0 : 0.0);
-    for (std::size_t i = 0; i < q.size(); ++i)
-      e.f("q" + std::to_string(i), q[i]);
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      // Built with += rather than `"q" + to_string(i)`: GCC 12's -Wrestrict
+      // false-fires on the char*+string&& operator+ under -O2 inlining.
+      std::string key = "q";
+      key += std::to_string(i);
+      e.f(key, q[i]);
+    }
     instr_.trace->emit(e);
   }
   return next_n_tx;

@@ -143,11 +143,14 @@ RoundStats DimmerNetwork::run_round(const std::vector<phy::NodeId>& sources) {
 
   // --- Execute the round into the pooled result (buffers reused across
   // rounds; see protocol.hpp).
+  // dimmer-lint: hot-path begin — steady-state rounds recycle round_buf_ and
+  // the executor workspace; nothing here may allocate.
   executor_.run_round_into(time_, round_idx_, coordinator_, sources,
                            next_n_tx_, states_, rng_,
                            injector_.has_value() ? &dis : nullptr, round_buf_);
   const lwb::RoundResult& rr = round_buf_;
   process_round(rr, sources, out);
+  // dimmer-lint: hot-path end
   if (out.orphaned) {
     // Nobody computed a schedule, so nobody can claim the round was clean.
     out.coordinator_lossless = false;
@@ -474,7 +477,8 @@ void DimmerNetwork::process_round(const lwb::RoundResult& rr,
 
   // Ground-truth round metrics.
   out.reliability = expected_pairs > 0
-                        ? static_cast<double>(delivered_pairs) / expected_pairs
+                        ? static_cast<double>(delivered_pairs) /
+                              static_cast<double>(expected_pairs)
                         : 1.0;
   out.lossless = delivered_pairs == expected_pairs;
 

@@ -163,7 +163,7 @@ std::vector<double> TraceEnv::observe() const {
     for (std::size_t i = 0; i < snap.entries.size(); ++i) {
       if (!prev.fresh[i]) continue;
       snap.entries[i].radio_on_ms = 0.5 * snap.entries[i].radio_on_ms +
-                                    0.5 * prev.radio_on_ms[i];
+                                    0.5 * static_cast<double>(prev.radio_on_ms[i]);
     }
   }
   return features_.build(snap, n_tx_, history_);
@@ -302,8 +302,8 @@ PolicyEvaluation evaluate_policy(
       TraceEnv::StepResult sr = env.step(action);
       const TraceOutcome& o = env.current_outcome();
       ev.avg_reward += sr.reward;
-      ev.avg_reliability += o.true_reliability;
-      ev.avg_radio_on_ms += o.true_radio_on_ms;
+      ev.avg_reliability += static_cast<double>(o.true_reliability);
+      ev.avg_radio_on_ms += static_cast<double>(o.true_radio_on_ms);
       ev.avg_n_tx += env.current_n_tx();
       if (!o.true_lossless) ++losses;
       ++steps;

@@ -1,9 +1,10 @@
 #include "exp/runner.hpp"
 
 #include <atomic>
-#include <chrono>
 #include <cstdlib>
 #include <thread>
+
+#include "util/wallclock.hpp"
 
 namespace dimmer::exp {
 
@@ -38,7 +39,7 @@ std::vector<Trial> Runner::run(std::vector<TrialSpec> specs,
     rngs.push_back(root.fork(util::hash_u64(out[i].spec.seed, i)));
 
   auto run_one = [&](std::size_t i) {
-    auto t0 = std::chrono::steady_clock::now();
+    util::Stopwatch sw;
     TrialResult r;
     try {
       r = fn(out[i].spec, rngs[i]);
@@ -46,14 +47,13 @@ std::vector<Trial> Runner::run(std::vector<TrialSpec> specs,
       r = TrialResult{};
       r.ok = false;
       r.error = e.what();
-    } catch (...) {
+    } catch (...) {  // NOLINT-DIMMER(err-swallow): recorded, not swallowed —
+                     // the trial is marked failed and require_all_ok aborts.
       r = TrialResult{};
       r.ok = false;
       r.error = "unknown exception";
     }
-    r.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    r.wall_seconds = sw.seconds();
     out[i].result = std::move(r);
   };
 

@@ -47,7 +47,9 @@ struct TrialSpec {
 
 /// What one trial produced. All fields are written by the trial function
 /// except `wall_seconds` / `ok` / `error`, which the Runner fills in.
-struct TrialResult {
+/// [[nodiscard]] (enforced by dimmer-lint's nodiscard-result rule): a
+/// silently dropped result is how a bench diverges from what it reports.
+struct [[nodiscard]] TrialResult {
   /// Scalar headline metrics (reliability, radio_on_ms, latency_ms, ...).
   std::map<std::string, double> metrics;
   /// Per-trial sample distributions (e.g. per-round reliability); scenarios

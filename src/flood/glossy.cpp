@@ -147,6 +147,9 @@ void GlossyFlood::run_into(phy::NodeId initiator,
   double exposure_sum = 0.0;
   std::uint64_t exposure_n = 0;
 
+  // dimmer-lint: hot-path begin — the zero-allocation flood step loop; the
+  // operator-new audit in tests/flood/test_workspace.cpp enforces the same
+  // contract at runtime.
   for (int t = 0; t < steps; ++t) {
     // 1. Who transmits at this step? Alternation: a node first involved at
     //    step f transmits at f+1, f+3, ... while budget remains.
@@ -156,6 +159,7 @@ void GlossyFlood::run_into(phy::NodeId initiator,
       if (s.finished || !s.has_packet) continue;
       if ((t - s.first_step) % 2 == 1 &&
           s.tx_done < ws.budget[static_cast<std::size_t>(i)]) {
+        // NOLINTNEXTLINE-DIMMER(hot-no-alloc): capacity reserved per flood
         ws.transmitters.push_back(i);
         ws.is_tx[static_cast<std::size_t>(i)] = 1;
       }
@@ -251,6 +255,7 @@ void GlossyFlood::run_into(phy::NodeId initiator,
     }
     out.steps_simulated = t + 1;
   }
+  // dimmer-lint: hot-path end
 
   // 5. Fill results. Nodes that never received and participated listened for
   //    the whole slot (the paper's pessimistic radio-on accounting).

@@ -73,8 +73,9 @@ struct NodeFloodResult {
   sim::TimeUs radio_on_us = 0;
 };
 
-/// Whole-flood outcome.
-struct FloodResult {
+/// Whole-flood outcome. [[nodiscard]] so `run()`'s return value cannot be
+/// silently discarded (dimmer-lint: nodiscard-result).
+struct [[nodiscard]] FloodResult {
   std::vector<NodeFloodResult> nodes;
   /// Per node: whether it took part in the flood. Non-participants keep a
   /// default NodeFloodResult and are excluded from every aggregate below.

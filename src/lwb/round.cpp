@@ -84,6 +84,9 @@ void RoundExecutor::run_round_into(sim::TimeUs start,
   result.duration_us = round_duration(data_sources.size());
   result.data.resize(data_sources.size());
 
+  // dimmer-lint: hot-path begin — per-round flood execution; all buffers
+  // recycle capacity assigned above, so steady-state rounds allocate nothing
+  // (audited by tests/flood/test_workspace.cpp's 20-round operator-new count).
   // --- Control slot: everyone listens (desynced nodes are trying to
   // re-bootstrap on the control channel anyway).
   if (coordinator_alive) {
@@ -96,6 +99,7 @@ void RoundExecutor::run_round_into(sim::TimeUs start,
     params.coherence_gain = cfg_.coherence_gain;
     params.trace_round = round_index;
 
+    // NOLINTNEXTLINE-DIMMER(hot-no-alloc): assign() recycles capacity
     slot_cfgs_.assign(static_cast<std::size_t>(n), flood::NodeFloodConfig{});
     for (int i = 0; i < n; ++i) {
       auto& c = slot_cfgs_[static_cast<std::size_t>(i)];
@@ -179,7 +183,8 @@ void RoundExecutor::run_round_into(sim::TimeUs start,
       params.coherence_gain = cfg_.coherence_gain;
       params.trace_round = round_index;
 
-      slot_cfgs_.assign(static_cast<std::size_t>(n), flood::NodeFloodConfig{});
+      // NOLINTNEXTLINE-DIMMER(hot-no-alloc): assign() recycles capacity
+    slot_cfgs_.assign(static_cast<std::size_t>(n), flood::NodeFloodConfig{});
       for (int i = 0; i < n; ++i) {
         auto& c = slot_cfgs_[static_cast<std::size_t>(i)];
         const auto& s = states[static_cast<std::size_t>(i)];
@@ -227,6 +232,7 @@ void RoundExecutor::run_round_into(sim::TimeUs start,
 
     slot_start += cfg_.slot_len_us + cfg_.slot_gap_us;
   }
+  // dimmer-lint: hot-path end
 
   if (instr_.active()) {
     int control_rx = 0, desynced = 0, silent = 0;

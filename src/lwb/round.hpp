@@ -79,8 +79,9 @@ struct RoundDisruptions {
   }
 };
 
-/// Outcome of one full round.
-struct RoundResult {
+/// Outcome of one full round. [[nodiscard]] so a computed round can never be
+/// dropped on the floor unnoticed (dimmer-lint: nodiscard-result).
+struct [[nodiscard]] RoundResult {
   flood::FloodResult control;
   std::vector<DataSlotOutcome> data;
   /// Per node: total radio-on time this round and slots it was awake for

@@ -56,8 +56,8 @@ TEST(RoundExecutor, MissedControlAgesSync) {
   RoundExecutor ex(topo, field, RoundConfig{});
   auto states = uniform_states(3, 3);
   util::Pcg32 rng(3);
-  for (int r = 0; r < 4; ++r)
-    ex.run_round(r * sim::seconds(4), r, 0, {1, 2}, 3, states, rng);
+  for (int r = 0; r < 4; ++r)  // run for the state side effects only
+    (void)ex.run_round(r * sim::seconds(4), r, 0, {1, 2}, 3, states, rng);
   EXPECT_EQ(states[2].sync_age, 4);
 }
 
@@ -69,7 +69,7 @@ TEST(RoundExecutor, DesyncedSourceMakesSilentSlot) {
   RoundExecutor ex(topo, field, cfg);
   auto states = uniform_states(3, 3);
   util::Pcg32 rng(4);
-  ex.run_round(0, 0, 0, {2}, 3, states, rng);
+  (void)ex.run_round(0, 0, 0, {2}, 3, states, rng);  // miss: ages sync
   RoundResult rr = ex.run_round(sim::seconds(4), 1, 0, {2}, 3, states, rng);
   ASSERT_EQ(rr.data.size(), 1u);
   EXPECT_FALSE(rr.data[0].source_synced);
@@ -167,8 +167,8 @@ TEST(RoundExecutor, HeavyJamOnControlChannelDesynchronizesNodes) {
   RoundExecutor ex(topo, field, RoundConfig{});
   auto states = uniform_states(18, 3);
   util::Pcg32 rng(8);
-  for (int r = 0; r < 6; ++r)
-    ex.run_round(r * sim::seconds(4), r, 0, all_sources(18), 3, states, rng);
+  for (int r = 0; r < 6; ++r)  // run for the state side effects only
+    (void)ex.run_round(r * sim::seconds(4), r, 0, all_sources(18), 3, states, rng);
   int desynced = 0;
   for (int i = 1; i < 18; ++i)
     if (states[i].sync_age > RoundConfig{}.max_sync_age) ++desynced;

@@ -1,0 +1,42 @@
+// dimmer-lint fixture: det-clock must fire on every ambient time/randomness
+// source — and honour suppressions. Never compiled; scanned by
+// tests/tools/test_lint.cpp.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+double wall() {
+  auto t0 = std::chrono::steady_clock::now();  // line 9: det-clock
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+long stamp() { return std::time(nullptr); }  // line 13: det-clock
+
+int ambient() {
+  std::random_device rd;                  // line 16: det-clock
+  std::mt19937 gen(rd());                 // line 17: det-clock
+  return static_cast<int>(gen() % 7) + std::rand();  // line 18: det-clock
+}
+
+int suppressed_ambient() {
+  return std::rand();  // NOLINT-DIMMER(det-clock): fixture-sanctioned
+}
+
+int suppressed_next_line() {
+  // NOLINTNEXTLINE-DIMMER(det-clock)
+  std::mt19937 gen(7);
+  return static_cast<int>(gen());
+}
+
+// Lookalikes that must NOT fire: member access, other identifiers, strings
+// and comments. A comment mentioning std::rand or steady_clock is fine.
+struct Radio {
+  double airtime(int bytes) const { return bytes * 32.0; }
+  long time_us = 0;
+  int rand = 3;  // a field named rand is not a call
+};
+double lookalikes(const Radio& r) {
+  const char* msg = "do not use std::rand or steady_clock";  // string, ok
+  return r.airtime(30) + static_cast<double>(r.time_us) + r.rand +
+         static_cast<double>(msg[0]);
+}

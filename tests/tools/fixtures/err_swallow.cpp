@@ -1,0 +1,40 @@
+// dimmer-lint fixture: err-swallow — catch-all and empty handlers. Never
+// compiled; scanned by test_lint.cpp.
+#include <stdexcept>
+
+void risky();
+
+int bad_catch_all() {
+  try {
+    risky();
+  } catch (...) {  // err-swallow
+    return -1;
+  }
+  return 0;
+}
+
+int bad_empty_catch() {
+  try {
+    risky();
+  } catch (const std::exception& e) {  // err-swallow (empty body)
+  }
+  return 0;
+}
+
+int suppressed_catch_all() {
+  try {
+    risky();
+  } catch (...) {  // NOLINT-DIMMER(err-swallow): recorded by caller, fixture
+    return -1;
+  }
+  return 0;
+}
+
+int good_catch(int x) {
+  try {
+    risky();
+  } catch (const std::exception& e) {
+    x = -x;  // handled: ok
+  }
+  return x;
+}

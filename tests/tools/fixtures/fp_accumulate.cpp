@@ -1,0 +1,27 @@
+// dimmer-lint fixture: fp-accumulate — library reductions whose FP order is
+// implicit. Never compiled; scanned by test_lint.cpp.
+#include <numeric>
+#include <vector>
+
+double bad_sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);  // fp-accumulate
+}
+
+double bad_reduce(const std::vector<double>& v) {
+  return std::reduce(v.begin(), v.end(), 0.0);  // fp-accumulate
+}
+
+double annotated_sum(const std::vector<double>& v) {
+  // dimmer-lint: fp-order-ok — forward order is the documented contract here
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+double suppressed_sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);  // NOLINT-DIMMER(fp-accumulate)
+}
+
+double good_explicit_sum(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x;  // explicit order: ok
+  return acc;
+}

@@ -1,0 +1,32 @@
+// dimmer-lint fixture: hot-no-alloc — allocation inside a marked hot-path
+// region. Never compiled; scanned by test_lint.cpp.
+#include <memory>
+#include <vector>
+
+struct Workspace {
+  std::vector<int> buf;
+  std::vector<int> marks;
+};
+
+void prepare(Workspace& ws, int n) {
+  ws.buf.reserve(static_cast<std::size_t>(n));  // outside region: ok
+  ws.marks.assign(static_cast<std::size_t>(n), 0);
+}
+
+int hot_loop(Workspace& ws, int n) {
+  int acc = 0;
+  // dimmer-lint: hot-path begin
+  for (int t = 0; t < n; ++t) {
+    ws.buf.push_back(t);             // hot-no-alloc
+    auto* p = new int(t);            // hot-no-alloc
+    auto q = std::make_unique<int>(t);  // hot-no-alloc
+    ws.marks.resize(static_cast<std::size_t>(n + t));  // hot-no-alloc
+    // NOLINTNEXTLINE-DIMMER(hot-no-alloc): capacity reserved in prepare()
+    ws.buf.push_back(-t);
+    acc += *p + *q;
+    delete p;
+  }
+  // dimmer-lint: hot-path end
+  ws.buf.push_back(acc);  // after region: ok
+  return acc;
+}

@@ -1,0 +1,9 @@
+// dimmer-lint fixture: a hot-path region that never closes must itself be a
+// finding (and the unclosed region flags nothing after it — the region is
+// only materialized by its end marker). Never compiled.
+#include <vector>
+
+void f(std::vector<int>& v) {
+  // dimmer-lint: hot-path begin
+  v.push_back(1);
+}

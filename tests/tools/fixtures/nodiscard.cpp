@@ -1,0 +1,17 @@
+// dimmer-lint fixture: nodiscard-result — result structs must carry
+// [[nodiscard]]. Never compiled; scanned by test_lint.cpp.
+#include <vector>
+
+struct FloodResult {  // nodiscard-result
+  std::vector<int> nodes;
+};
+
+struct [[nodiscard]] TrialResult {  // attribute present: ok
+  double wall_seconds = 0.0;
+};
+
+struct RoundResult;  // forward declaration: ok
+
+class [[nodiscard]] RoundResult2 {};  // not in the configured list either way
+
+void use(const FloodResult& f, const TrialResult& t);

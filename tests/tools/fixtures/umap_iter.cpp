@@ -1,0 +1,48 @@
+// dimmer-lint fixture: det-umap-iter — nondeterministic traversal of
+// unordered containers. Never compiled; scanned by test_lint.cpp.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using Index = std::unordered_map<int, double>;
+
+struct Registry {
+  std::unordered_map<std::string, double> metrics;
+  std::unordered_set<int> seen;
+  std::map<std::string, double> sorted_metrics;
+};
+
+double bad_range_for(const Registry& r) {
+  double sum = 0.0;
+  for (const auto& [k, v] : r.metrics) sum += v;  // det-umap-iter
+  return sum;
+}
+
+int bad_alias_iteration(const Index& idx) {
+  int n = 0;
+  for (const auto& kv : idx) n += kv.first;  // det-umap-iter (via alias)
+  return n;
+}
+
+int bad_begin(Registry& r) {
+  auto it = r.seen.begin();  // det-umap-iter
+  return it != r.seen.end() ? *it : 0;
+}
+
+double suppressed(const Registry& r) {
+  double sum = 0.0;
+  // NOLINTNEXTLINE-DIMMER(det-umap-iter): order-independent sum, proven
+  for (const auto& [k, v] : r.metrics) sum += v;
+  return sum;
+}
+
+// Ordered traversal and pure lookups must NOT fire.
+double good(const Registry& r, const std::string& key) {
+  double sum = 0.0;
+  for (const auto& [k, v] : r.sorted_metrics) sum += v;  // std::map: ok
+  auto it = r.metrics.find(key);                         // lookup: ok
+  if (it != r.metrics.end()) sum += it->second;
+  return sum + static_cast<double>(r.seen.count(3));     // count: ok
+}

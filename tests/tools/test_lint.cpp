@@ -1,0 +1,316 @@
+// Tests for tools/dimmer-lint: every rule proven to fire on a fixture and to
+// honour its suppression mechanism, the JSON report pinned against a golden
+// file, the shipped baseline proven empty, and — the point of the tool — the
+// real src/, bench/ and examples/ trees proven clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using dimmer::lint::Finding;
+using dimmer::lint::Options;
+
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(DIMMER_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+// Scans a fixture, reporting it under a stable relative path so findings are
+// machine-independent.
+std::vector<Finding> scan_fixture(const std::string& name) {
+  return dimmer::lint::scan_file(fixture_path(name), "fixtures/" + name);
+}
+
+// Findings for `rule` with the given flags.
+std::vector<int> lines_of(const std::vector<Finding>& fs, const std::string& rule,
+                          bool suppressed) {
+  std::vector<int> lines;
+  for (const auto& f : fs)
+    if (f.rule == rule && f.suppressed == suppressed) lines.push_back(f.line);
+  return lines;
+}
+
+int count_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(fs.begin(), fs.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, TableListsAllSixRules) {
+  std::vector<std::string> ids;
+  for (const auto& r : dimmer::lint::rules()) ids.push_back(r.id);
+  const std::vector<std::string> expected = {"det-clock",  "det-umap-iter",
+                                             "hot-no-alloc", "fp-accumulate",
+                                             "err-swallow", "nodiscard-result"};
+  EXPECT_EQ(ids, expected);
+  for (const auto& id : expected) EXPECT_TRUE(dimmer::lint::is_rule(id)) << id;
+  EXPECT_FALSE(dimmer::lint::is_rule("no-such-rule"));
+}
+
+// ---------------------------------------------------------------------------
+// det-clock
+// ---------------------------------------------------------------------------
+
+TEST(LintDetClock, FiresOnEveryAmbientSource) {
+  auto fs = scan_fixture("clock_violation.cpp");
+  // steady_clock, time, random_device, mt19937, rand — 5 active findings.
+  auto active = lines_of(fs, "det-clock", /*suppressed=*/false);
+  EXPECT_EQ(active, (std::vector<int>{9, 13, 16, 17, 18}));
+}
+
+TEST(LintDetClock, HonoursSameLineAndNextLineSuppression) {
+  auto fs = scan_fixture("clock_violation.cpp");
+  auto suppressed = lines_of(fs, "det-clock", /*suppressed=*/true);
+  EXPECT_EQ(suppressed, (std::vector<int>{22, 27}));
+  EXPECT_TRUE(dimmer::lint::has_active(fs));
+}
+
+TEST(LintDetClock, IgnoresMembersStringsAndComments) {
+  auto fs = scan_fixture("clock_violation.cpp");
+  // Nothing past the suppressed block (the lookalikes section) may fire.
+  for (const auto& f : fs) EXPECT_LE(f.line, 27) << f.excerpt;
+}
+
+TEST(LintDetClock, ExemptsUtilAndToolsPrefixes) {
+  const std::string src = slurp(fixture_path("clock_violation.cpp"));
+  EXPECT_FALSE(src.empty());
+  // The same content reported under src/util/ produces zero det-clock
+  // findings: the wall-clock wrapper lives there by design.
+  auto util_fs = dimmer::lint::scan_source("src/util/wallclock_fixture.cpp", src);
+  EXPECT_EQ(count_rule(util_fs, "det-clock"), 0);
+  auto tools_fs = dimmer::lint::scan_source("tools/dimmer-lint/fixture.cpp", src);
+  EXPECT_EQ(count_rule(tools_fs, "det-clock"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// det-umap-iter
+// ---------------------------------------------------------------------------
+
+TEST(LintUmapIter, FiresOnRangeForBeginAndAliases) {
+  auto fs = scan_fixture("umap_iter.cpp");
+  auto active = lines_of(fs, "det-umap-iter", /*suppressed=*/false);
+  // range-for over member, range-for over alias, begin() on unordered_set.
+  EXPECT_EQ(active, (std::vector<int>{19, 25, 30}));
+}
+
+TEST(LintUmapIter, SuppressionAndOrderedContainersClean) {
+  auto fs = scan_fixture("umap_iter.cpp");
+  auto suppressed = lines_of(fs, "det-umap-iter", /*suppressed=*/true);
+  EXPECT_EQ(suppressed, (std::vector<int>{37}));
+  // std::map traversal and find()/count() lookups (lines 41+) are clean.
+  for (const auto& f : fs) EXPECT_LE(f.line, 37) << f.excerpt;
+}
+
+// ---------------------------------------------------------------------------
+// hot-no-alloc
+// ---------------------------------------------------------------------------
+
+TEST(LintHotNoAlloc, FiresOnlyInsideMarkedRegion) {
+  auto fs = scan_fixture("hot_alloc.cpp");
+  auto active = lines_of(fs, "hot-no-alloc", /*suppressed=*/false);
+  // push_back, new, make_unique, resize — all inside the region. reserve/
+  // assign in prepare() and the push_back after `hot-path end` are clean.
+  EXPECT_EQ(active, (std::vector<int>{20, 21, 22, 23}));
+  auto suppressed = lines_of(fs, "hot-no-alloc", /*suppressed=*/true);
+  EXPECT_EQ(suppressed, (std::vector<int>{25}));
+}
+
+TEST(LintHotNoAlloc, UnterminatedRegionIsItselfAFinding) {
+  auto fs = scan_fixture("hot_unterminated.cpp");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "hot-no-alloc");
+  EXPECT_FALSE(fs[0].suppressed);
+  EXPECT_NE(fs[0].message.find("unterminated"), std::string::npos)
+      << fs[0].message;
+}
+
+// ---------------------------------------------------------------------------
+// fp-accumulate
+// ---------------------------------------------------------------------------
+
+TEST(LintFpAccumulate, FiresOnLibraryReductions) {
+  auto fs = scan_fixture("fp_accumulate.cpp");
+  auto active = lines_of(fs, "fp-accumulate", /*suppressed=*/false);
+  EXPECT_EQ(active, (std::vector<int>{7, 11}));
+}
+
+TEST(LintFpAccumulate, FpOrderOkAnnotationAndNolintSuppress) {
+  auto fs = scan_fixture("fp_accumulate.cpp");
+  auto suppressed = lines_of(fs, "fp-accumulate", /*suppressed=*/true);
+  // The fp-order-ok annotated call (line 16) and the NOLINT one (line 20).
+  EXPECT_EQ(suppressed, (std::vector<int>{16, 20}));
+  // The explicit loop at the bottom is invisible to the rule.
+  EXPECT_EQ(count_rule(fs, "fp-accumulate"), 4);
+}
+
+// ---------------------------------------------------------------------------
+// err-swallow
+// ---------------------------------------------------------------------------
+
+TEST(LintErrSwallow, FiresOnCatchAllAndEmptyCatch) {
+  auto fs = scan_fixture("err_swallow.cpp");
+  auto active = lines_of(fs, "err-swallow", /*suppressed=*/false);
+  EXPECT_EQ(active, (std::vector<int>{10, 19}));
+  auto suppressed = lines_of(fs, "err-swallow", /*suppressed=*/true);
+  EXPECT_EQ(suppressed, (std::vector<int>{27}));
+}
+
+// ---------------------------------------------------------------------------
+// nodiscard-result
+// ---------------------------------------------------------------------------
+
+TEST(LintNodiscard, FiresOnUnattributedResultStructOnly) {
+  auto fs = scan_fixture("nodiscard.cpp");
+  auto active = lines_of(fs, "nodiscard-result", /*suppressed=*/false);
+  // FloodResult without [[nodiscard]]; TrialResult (attributed), the
+  // RoundResult forward declaration and RoundResult2 (not a listed type)
+  // are all clean.
+  EXPECT_EQ(active, (std::vector<int>{5}));
+  EXPECT_EQ(count_rule(fs, "nodiscard-result"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Suppression semantics
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppression, BareNolintSuppressesEveryRule) {
+  auto fs = dimmer::lint::scan_source(
+      "fixtures/inline.cpp",
+      "int f() { return std::rand(); }  // NOLINT-DIMMER\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(fs[0].suppressed);
+  EXPECT_FALSE(dimmer::lint::has_active(fs));
+}
+
+TEST(LintSuppression, UnrelatedRuleListDoesNotSuppress) {
+  auto fs = dimmer::lint::scan_source(
+      "fixtures/inline.cpp",
+      "int f() { return std::rand(); }  // NOLINT-DIMMER(err-swallow)\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_FALSE(fs[0].suppressed);
+  EXPECT_TRUE(dimmer::lint::has_active(fs));
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+TEST(LintBaseline, KeyIsContentHashedNotLineNumbered) {
+  const std::string a = "int f() { return std::rand(); }\n";
+  const std::string b = "// a new comment shifts every line\n\n\n" + a;
+  auto fa = dimmer::lint::scan_source("x.cpp", a);
+  auto fb = dimmer::lint::scan_source("x.cpp", b);
+  ASSERT_EQ(fa.size(), 1u);
+  ASSERT_EQ(fb.size(), 1u);
+  EXPECT_NE(fa[0].line, fb[0].line);
+  EXPECT_EQ(dimmer::lint::baseline_key(fa[0]), dimmer::lint::baseline_key(fb[0]));
+}
+
+TEST(LintBaseline, ApplyMarksMatchingFindingsInactive) {
+  auto fs = dimmer::lint::scan_source("x.cpp",
+                                      "int f() { return std::rand(); }\n");
+  ASSERT_EQ(fs.size(), 1u);
+  std::set<std::string> baseline = {dimmer::lint::baseline_key(fs[0])};
+  dimmer::lint::apply_baseline(fs, baseline);
+  EXPECT_TRUE(fs[0].baselined);
+  EXPECT_FALSE(dimmer::lint::has_active(fs));
+}
+
+TEST(LintBaseline, ShippedBaselineIsEmpty) {
+  // The contract: the repo lints clean, so the checked-in baseline carries
+  // zero keys. Grandfathering a violation requires a visible diff here.
+  auto keys = dimmer::lint::load_baseline(DIMMER_LINT_BASELINE_FILE);
+  EXPECT_TRUE(keys.empty())
+      << "baseline.txt must stay empty; fix or NOLINT new findings instead";
+}
+
+TEST(LintBaseline, MissingFileYieldsEmptySet) {
+  EXPECT_TRUE(dimmer::lint::load_baseline("/nonexistent/baseline").empty());
+}
+
+// ---------------------------------------------------------------------------
+// JSON report
+// ---------------------------------------------------------------------------
+
+TEST(LintReport, MatchesGoldenFile) {
+  auto fs = scan_fixture("clock_violation.cpp");
+  const std::string got = dimmer::lint::json_report(std::move(fs));
+  const std::string want = slurp(fixture_path("golden_clock_report.json"));
+  ASSERT_FALSE(want.empty()) << "golden file missing";
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintReport, IsByteDeterministic) {
+  auto a = dimmer::lint::json_report(scan_fixture("umap_iter.cpp"));
+  auto b = dimmer::lint::json_report(scan_fixture("umap_iter.cpp"));
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// The repo itself is clean (the static mirror of the jobs=1-vs-8 BENCH
+// byte-identity checks). Scans the real src/, bench/ and examples/ trees.
+// ---------------------------------------------------------------------------
+
+TEST(LintRepo, SrcBenchExamplesHaveNoActiveFindings) {
+  const fs::path root = DIMMER_LINT_REPO_ROOT;
+  std::vector<std::string> files;
+  for (const char* dir : {"src", "bench", "examples"}) {
+    for (auto it = fs::recursive_directory_iterator(root / dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (!it->is_regular_file()) continue;
+      auto ext = it->path().extension().string();
+      if (ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h")
+        files.push_back(it->path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GT(files.size(), 50u);  // sanity: we really walked the tree
+  auto baseline = dimmer::lint::load_baseline(DIMMER_LINT_BASELINE_FILE);
+  int active = 0;
+  for (const auto& f : files) {
+    auto rel = fs::relative(f, root).generic_string();
+    auto found = dimmer::lint::scan_file(f, rel);
+    dimmer::lint::apply_baseline(found, baseline);
+    for (const auto& d : found) {
+      if (!d.suppressed && !d.baselined) {
+        ++active;
+        ADD_FAILURE() << rel << ":" << d.line << ": [" << d.rule << "] "
+                      << d.message;
+      }
+    }
+  }
+  EXPECT_EQ(active, 0);
+}
+
+// A seeded violation MUST make the gate fail — proves the CI job is not
+// vacuously green.
+TEST(LintRepo, SeededViolationFailsTheGate) {
+  auto fs = dimmer::lint::scan_source(
+      "src/core/seeded.cpp",
+      "#include <chrono>\n"
+      "double t() { return std::chrono::steady_clock::now()"
+      ".time_since_epoch().count(); }\n");
+  EXPECT_TRUE(dimmer::lint::has_active(fs));
+}

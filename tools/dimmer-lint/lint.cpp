@@ -1,0 +1,772 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace dimmer::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------------
+
+const char* kDetClock = "det-clock";
+const char* kDetUmapIter = "det-umap-iter";
+const char* kHotNoAlloc = "hot-no-alloc";
+const char* kFpAccumulate = "fp-accumulate";
+const char* kErrSwallow = "err-swallow";
+const char* kNodiscardResult = "nodiscard-result";
+
+}  // namespace
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = {
+      {kDetClock,
+       "wall-clock / ambient randomness outside src/util/ (use forked "
+       "util::Pcg32 and util/wallclock.hpp)"},
+      {kDetUmapIter,
+       "iteration over std::unordered_map/unordered_set: order is "
+       "implementation-defined (use std::map, sorted keys, or lookups only)"},
+      {kHotNoAlloc,
+       "allocation or container growth inside a `dimmer-lint: hot-path` "
+       "region (the zero-allocation flood loop)"},
+      {kFpAccumulate,
+       "library floating-point reduction: make the summation order an "
+       "explicit loop or annotate `dimmer-lint: fp-order-ok`"},
+      {kErrSwallow,
+       "catch-all or empty catch handler: record the error or rethrow"},
+      {kNodiscardResult,
+       "result struct defined without [[nodiscard]]: dropped results are how "
+       "a bench silently diverges from what it reports"},
+  };
+  return kRules;
+}
+
+bool is_rule(const std::string& id) {
+  for (const Rule& r : rules())
+    if (r.id == id) return true;
+  return false;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Phase 1: split source into per-line code and comment channels.
+//
+// String and character literal *contents* are blanked (quotes kept) so token
+// scans never fire on, e.g., a log message mentioning "mt19937"; comment text
+// is captured separately because that is where the directive and suppression
+// syntax lives. Columns are preserved (blanking writes spaces).
+// ---------------------------------------------------------------------------
+
+struct LineInfo {
+  std::string code;
+  std::string comment;
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::vector<LineInfo> split_channels(const std::string& src) {
+  enum class St { kCode, kLineComment, kBlockComment, kStr, kChr, kRawStr };
+  std::vector<LineInfo> lines(1);
+  St st = St::kCode;
+  std::string raw_end;  // ")delim\"" terminator while in kRawStr
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    char c = src[i];
+    char n = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '\n') {
+      if (st == St::kLineComment) st = St::kCode;
+      // Unterminated string/char literals do not really span lines in valid
+      // C++; reset so one bad line cannot blank the rest of the file.
+      if (st == St::kStr || st == St::kChr) st = St::kCode;
+      lines.emplace_back();
+      continue;
+    }
+    LineInfo& line = lines.back();
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && n == '/') {
+          st = St::kLineComment;
+          ++i;
+        } else if (c == '/' && n == '*') {
+          st = St::kBlockComment;
+          line.code += "  ";
+          ++i;
+        } else if (c == '"') {
+          bool raw = !line.code.empty() && line.code.back() == 'R';
+          if (raw) {
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < src.size() && src[j] != '(' && src[j] != '\n')
+              delim += src[j++];
+            raw_end = ")" + delim + "\"";
+            st = St::kRawStr;
+            line.code += '"';
+            i = j;  // consume up to and including '('
+          } else {
+            st = St::kStr;
+            line.code += '"';
+          }
+        } else if (c == '\'') {
+          // Digit separator (1'000) vs character literal.
+          bool sep = !line.code.empty() &&
+                     std::isalnum(static_cast<unsigned char>(line.code.back())) &&
+                     std::isalnum(static_cast<unsigned char>(n));
+          if (sep) {
+            line.code += c;
+          } else {
+            st = St::kChr;
+            line.code += '\'';
+          }
+        } else {
+          line.code += c;
+        }
+        break;
+      case St::kLineComment:
+        line.comment += c;
+        break;
+      case St::kBlockComment:
+        if (c == '*' && n == '/') {
+          st = St::kCode;
+          ++i;
+        } else {
+          line.comment += c;
+        }
+        break;
+      case St::kStr:
+        if (c == '\\') {
+          line.code += ' ';
+          if (n != '\0' && n != '\n') {
+            line.code += ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          line.code += '"';
+          st = St::kCode;
+        } else {
+          line.code += ' ';
+        }
+        break;
+      case St::kChr:
+        if (c == '\\') {
+          line.code += ' ';
+          if (n != '\0' && n != '\n') {
+            line.code += ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          line.code += '\'';
+          st = St::kCode;
+        } else {
+          line.code += ' ';
+        }
+        break;
+      case St::kRawStr:
+        if (src.compare(i, raw_end.size(), raw_end) == 0) {
+          line.code += '"';
+          i += raw_end.size() - 1;
+          st = St::kCode;
+        } else {
+          line.code += c == '\t' ? '\t' : ' ';
+        }
+        break;
+    }
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: token stream (identifiers/numbers as words, everything else as
+// single-character punctuation).
+// ---------------------------------------------------------------------------
+
+struct Tok {
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+std::vector<Tok> tokenize(const std::vector<LineInfo>& lines) {
+  std::vector<Tok> toks;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& code = lines[li].code;
+    std::size_t i = 0;
+    while (i < code.size()) {
+      char c = code[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (is_ident_char(c)) {
+        std::size_t j = i;
+        while (j < code.size() && is_ident_char(code[j])) ++j;
+        toks.push_back({code.substr(i, j - i), static_cast<int>(li + 1)});
+        i = j;
+      } else {
+        toks.push_back({std::string(1, c), static_cast<int>(li + 1)});
+        ++i;
+      }
+    }
+  }
+  return toks;
+}
+
+// ---------------------------------------------------------------------------
+// Directives and suppressions (live in the comment channel)
+// ---------------------------------------------------------------------------
+
+struct Directives {
+  std::vector<bool> hot;    // per line (1-based index): inside hot-path region
+  std::vector<bool> fp_ok;  // line carries `dimmer-lint: fp-order-ok`
+  std::vector<Finding> region_errors;  // unbalanced begin/end
+};
+
+bool comment_has(const std::string& comment, const std::string& what) {
+  return comment.find(what) != std::string::npos;
+}
+
+Directives scan_directives(const std::string& path,
+                           const std::vector<LineInfo>& lines) {
+  Directives d;
+  d.hot.assign(lines.size() + 2, false);
+  d.fp_ok.assign(lines.size() + 2, false);
+  int begin_line = -1;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& c = lines[li].comment;
+    int ln = static_cast<int>(li + 1);
+    if (comment_has(c, "dimmer-lint: fp-order-ok")) d.fp_ok[li + 1] = true;
+    if (comment_has(c, "dimmer-lint: hot-path begin")) {
+      if (begin_line >= 0)
+        d.region_errors.push_back({path, ln, kHotNoAlloc,
+                                   "nested `hot-path begin` (previous region "
+                                   "opened on line " +
+                                       std::to_string(begin_line) + ")",
+                                   "", false, false});
+      begin_line = ln;
+    } else if (comment_has(c, "dimmer-lint: hot-path end")) {
+      if (begin_line < 0) {
+        d.region_errors.push_back({path, ln, kHotNoAlloc,
+                                   "`hot-path end` without a matching begin",
+                                   "", false, false});
+      } else {
+        for (int k = begin_line + 1; k < ln; ++k) d.hot[k] = true;
+        begin_line = -1;
+      }
+    }
+  }
+  if (begin_line >= 0)
+    d.region_errors.push_back(
+        {path, begin_line, kHotNoAlloc,
+         "unterminated `hot-path begin` region", "", false, false});
+  return d;
+}
+
+// Parses "NOLINT-DIMMER" / "NOLINTNEXTLINE-DIMMER" with an optional
+// parenthesized rule list out of one line's comment text. Returns true if
+// `rule` is suppressed by `marker` in `comment`.
+bool marker_suppresses(const std::string& comment, const std::string& marker,
+                       const std::string& rule) {
+  std::size_t pos = comment.find(marker);
+  if (pos == std::string::npos) return false;
+  std::size_t after = pos + marker.size();
+  // Bare marker (no rule list) suppresses everything.
+  if (after >= comment.size() || comment[after] != '(') return true;
+  std::size_t close = comment.find(')', after);
+  std::string list = comment.substr(
+      after + 1, close == std::string::npos ? std::string::npos
+                                            : close - after - 1);
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    std::size_t b = item.find_first_not_of(" \t");
+    std::size_t e = item.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    if (item.substr(b, e - b + 1) == rule) return true;
+  }
+  return false;
+}
+
+bool line_suppressed(const std::vector<LineInfo>& lines, int line,
+                     const std::string& rule) {
+  // NOLINTNEXTLINE-DIMMER contains no "NOLINT-DIMMER" substring, so the two
+  // markers cannot shadow each other.
+  if (line >= 1 && line <= static_cast<int>(lines.size()) &&
+      marker_suppresses(lines[line - 1].comment, "NOLINT-DIMMER", rule))
+    return true;
+  if (line >= 2 &&
+      marker_suppresses(lines[line - 2].comment, "NOLINTNEXTLINE-DIMMER",
+                        rule))
+    return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Shared token helpers
+// ---------------------------------------------------------------------------
+
+const std::string& tok_at(const std::vector<Tok>& t, std::size_t i) {
+  static const std::string kEmpty;
+  return i < t.size() ? t[i].text : kEmpty;
+}
+
+// True if toks[i] is preceded by "::" (with or without a leading "std").
+bool colon_qualified(const std::vector<Tok>& t, std::size_t i) {
+  return i >= 2 && tok_at(t, i - 1) == ":" && tok_at(t, i - 2) == ":";
+}
+
+// True if toks[i] is accessed as a member (`.x`, `->x`).
+bool member_access(const std::vector<Tok>& t, std::size_t i) {
+  if (i >= 1 && tok_at(t, i - 1) == ".") return true;
+  return i >= 2 && tok_at(t, i - 1) == ">" && tok_at(t, i - 2) == "-";
+}
+
+// Index just past a balanced template argument list starting at toks[i]
+// (which must be "<"); returns i if it does not look like one.
+std::size_t skip_template_args(const std::vector<Tok>& t, std::size_t i) {
+  if (tok_at(t, i) != "<") return i;
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].text == "<") ++depth;
+    if (t[j].text == ">") {
+      if (--depth == 0) return j + 1;
+    }
+    if (t[j].text == ";" || t[j].text == "{") break;  // not a template list
+  }
+  return i;
+}
+
+std::string trimmed_line(const std::string& src_line) {
+  std::size_t b = src_line.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = src_line.find_last_not_of(" \t\r");
+  return src_line.substr(b, e - b + 1);
+}
+
+bool has_prefix(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+// Normalizes separators and strips leading "./" for prefix matching.
+std::string norm_path(std::string p) {
+  std::replace(p.begin(), p.end(), '\\', '/');
+  while (has_prefix(p, "./")) p.erase(0, 2);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: det-clock
+// ---------------------------------------------------------------------------
+
+void rule_det_clock(const std::string& path, const std::vector<Tok>& toks,
+                    const Options& opt, std::vector<Finding>* out) {
+  std::string np = norm_path(path);
+  for (const std::string& prefix : opt.clock_exempt_prefixes)
+    if (has_prefix(np, prefix) || np.find("/" + prefix) != std::string::npos)
+      return;
+  static const std::set<std::string> kBareBad = {
+      "steady_clock",   "system_clock",  "high_resolution_clock",
+      "random_device",  "mt19937",       "mt19937_64",
+      "minstd_rand",    "minstd_rand0",  "default_random_engine",
+      "ranlux24_base",  "ranlux48_base", "knuth_b",
+      "gettimeofday",   "timespec_get",  "localtime",
+      "gmtime",         "clock_gettime"};
+  // Short, collision-prone names: only flagged when "::"-qualified or used
+  // as a bare call (`time(nullptr)`), never as members of other objects.
+  static const std::set<std::string> kQualBad = {"rand", "srand", "time",
+                                                 "clock"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (kBareBad.count(t)) {
+      out->push_back({path, toks[i].line, kDetClock,
+                      "`" + t +
+                          "` outside src/util/: route timing through "
+                          "util/wallclock.hpp and randomness through forked "
+                          "util::Pcg32",
+                      "", false, false});
+      continue;
+    }
+    if (!kQualBad.count(t)) continue;
+    bool qualified = colon_qualified(toks, i);
+    bool bare_call = tok_at(toks, i + 1) == "(" && !member_access(toks, i) &&
+                     !qualified && tok_at(toks, i - 1) != ":";
+    if (qualified || bare_call)
+      out->push_back({path, toks[i].line, kDetClock,
+                      "`" + t +
+                          "()` outside src/util/: simulation code must not "
+                          "read ambient time or randomness",
+                      "", false, false});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: det-umap-iter
+// ---------------------------------------------------------------------------
+
+void rule_det_umap_iter(const std::string& path, const std::vector<Tok>& toks,
+                        std::vector<Finding>* out) {
+  static const std::set<std::string> kUnorderedKw = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  // Pass A: `using Alias = ... unordered_map<...> ...;`
+  std::set<std::string> aliases;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].text != "using" || tok_at(toks, i + 2) != "=") continue;
+    for (std::size_t j = i + 3; j < toks.size() && toks[j].text != ";"; ++j)
+      if (kUnorderedKw.count(toks[j].text)) {
+        aliases.insert(toks[i + 1].text);
+        break;
+      }
+  }
+  auto is_unordered_type = [&](const std::string& t) {
+    return kUnorderedKw.count(t) != 0 || aliases.count(t) != 0;
+  };
+  // Pass B: declared variable / member names of unordered type.
+  std::set<std::string> vars;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_unordered_type(toks[i].text)) continue;
+    std::size_t j = skip_template_args(toks, i + 1);
+    if (j == i + 1 && kUnorderedKw.count(toks[i].text)) continue;  // no <...>
+    while (tok_at(toks, j) == "&" || tok_at(toks, j) == "*" ||
+           tok_at(toks, j) == "const")
+      ++j;
+    const std::string& name = tok_at(toks, j);
+    if (!name.empty() && is_ident_char(name[0]) &&
+        !std::isdigit(static_cast<unsigned char>(name[0])))
+      vars.insert(name);
+  }
+  // Pass C: range-for over an unordered variable or temporary.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].text != "for" || tok_at(toks, i + 1) != "(") continue;
+    int depth = 0;
+    std::size_t close = i + 1, colon = 0;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) {
+        close = j;
+        break;
+      }
+      if (depth == 1 && toks[j].text == ":" && tok_at(toks, j - 1) != ":" &&
+          tok_at(toks, j + 1) != ":" && colon == 0)
+        colon = j;
+    }
+    if (colon == 0 || close <= colon) continue;
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      const std::string& t = toks[j].text;
+      if (is_unordered_type(t) || vars.count(t)) {
+        out->push_back({path, toks[i].line, kDetUmapIter,
+                        "range-for over unordered container `" + t +
+                            "`: iteration order is implementation-defined; "
+                            "iterate sorted keys or use std::map",
+                        "", false, false});
+        break;
+      }
+    }
+  }
+  // Pass D: explicit begin()/cbegin() on an unordered variable.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!vars.count(toks[i].text)) continue;
+    std::size_t m = 0;
+    if (tok_at(toks, i + 1) == ".")
+      m = i + 2;
+    else if (tok_at(toks, i + 1) == "-" && tok_at(toks, i + 2) == ">")
+      m = i + 3;
+    else
+      continue;
+    const std::string& fn = tok_at(toks, m);
+    if ((fn == "begin" || fn == "cbegin") && tok_at(toks, m + 1) == "(")
+      out->push_back({path, toks[i].line, kDetUmapIter,
+                      "iterator traversal of unordered container `" +
+                          toks[i].text + "` (order is implementation-defined)",
+                      "", false, false});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: hot-no-alloc
+// ---------------------------------------------------------------------------
+
+void rule_hot_no_alloc(const std::string& path, const std::vector<Tok>& toks,
+                       const Directives& dir, std::vector<Finding>* out) {
+  static const std::set<std::string> kGrowers = {
+      "make_unique",  "make_shared",   "push_back", "emplace_back",
+      "push_front",   "emplace_front", "emplace",   "insert",
+      "resize",       "reserve",       "assign",    "append"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    int line = toks[i].line;
+    if (line >= static_cast<int>(dir.hot.size()) || !dir.hot[line]) continue;
+    const std::string& t = toks[i].text;
+    if (t == "new") {
+      out->push_back({path, line, kHotNoAlloc,
+                      "`new` inside hot-path region: steady-state floods must "
+                      "not allocate (use the caller-owned workspace)",
+                      "", false, false});
+    } else if (kGrowers.count(t) &&
+               (tok_at(toks, i + 1) == "(" ||
+                // templated form: make_unique<T>(...)
+                tok_at(toks, skip_template_args(toks, i + 1)) == "(")) {
+      out->push_back({path, line, kHotNoAlloc,
+                      "`" + t +
+                          "()` inside hot-path region may allocate; "
+                          "pre-size buffers outside the region",
+                      "", false, false});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: fp-accumulate
+// ---------------------------------------------------------------------------
+
+void rule_fp_accumulate(const std::string& path, const std::vector<Tok>& toks,
+                        const Directives& dir, std::vector<Finding>* out) {
+  static const std::set<std::string> kReducers = {
+      "accumulate", "reduce", "transform_reduce", "inner_product"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!kReducers.count(toks[i].text) || tok_at(toks, i + 1) != "(") continue;
+    int line = toks[i].line;
+    // An fp-order-ok annotation (same line or the line above) reports the
+    // call as suppressed rather than hiding it: annotated reductions stay
+    // visible in the JSON report's suppressed count.
+    bool ok = (line < static_cast<int>(dir.fp_ok.size()) && dir.fp_ok[line]) ||
+              (line >= 2 && line - 1 < static_cast<int>(dir.fp_ok.size()) &&
+               dir.fp_ok[line - 1]);
+    out->push_back({path, line, kFpAccumulate,
+                    "`" + toks[i].text +
+                        "()` hides the floating-point reduction order; write "
+                        "an explicit loop or annotate `// dimmer-lint: "
+                        "fp-order-ok`",
+                    "", /*suppressed=*/ok, false});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: err-swallow
+// ---------------------------------------------------------------------------
+
+void rule_err_swallow(const std::string& path, const std::vector<Tok>& toks,
+                      std::vector<Finding>* out) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].text != "catch" || tok_at(toks, i + 1) != "(") continue;
+    int depth = 0;
+    std::size_t close = 0;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) {
+        close = j;
+        break;
+      }
+    }
+    if (close == 0) continue;
+    bool catch_all = close == i + 5 && tok_at(toks, i + 2) == "." &&
+                     tok_at(toks, i + 3) == "." && tok_at(toks, i + 4) == ".";
+    if (catch_all) {
+      out->push_back({path, toks[i].line, kErrSwallow,
+                      "`catch (...)` can absorb any failure silently; catch "
+                      "concrete types, or record the error and annotate",
+                      "", false, false});
+      continue;
+    }
+    if (tok_at(toks, close + 1) == "{" && tok_at(toks, close + 2) == "}")
+      out->push_back({path, toks[i].line, kErrSwallow,
+                      "empty catch handler swallows the error", "", false,
+                      false});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: nodiscard-result
+// ---------------------------------------------------------------------------
+
+void rule_nodiscard_result(const std::string& path,
+                           const std::vector<Tok>& toks, const Options& opt,
+                           std::vector<Finding>* out) {
+  std::set<std::string> types(opt.nodiscard_types.begin(),
+                              opt.nodiscard_types.end());
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].text != "struct" && toks[i].text != "class") continue;
+    std::size_t j = i + 1;
+    bool nodiscard = false;
+    while (tok_at(toks, j) == "[" && tok_at(toks, j + 1) == "[") {
+      for (std::size_t k = j + 2;
+           k < toks.size() && tok_at(toks, k) != "]"; ++k)
+        if (toks[k].text == "nodiscard") nodiscard = true;
+      while (j < toks.size() && toks[j].text != "]") ++j;
+      j += 2;  // skip "]]"
+    }
+    const std::string& name = tok_at(toks, j);
+    if (!types.count(name)) continue;
+    const std::string& next = tok_at(toks, j + 1);
+    if (next != "{" && next != ":") continue;  // fwd decl / variable / member
+    if (!nodiscard)
+      out->push_back({path, toks[i].line, kNodiscardResult,
+                      "result type `" + name +
+                          "` must be declared `struct [[nodiscard]] " + name +
+                          "` so discarded results warn at every call site",
+                      "", false, false});
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> scan_source(const std::string& path,
+                                 const std::string& contents,
+                                 const Options& opt) {
+  std::vector<LineInfo> lines = split_channels(contents);
+  std::vector<Tok> toks = tokenize(lines);
+  Directives dir = scan_directives(path, lines);
+
+  std::vector<Finding> out;
+  rule_det_clock(path, toks, opt, &out);
+  rule_det_umap_iter(path, toks, &out);
+  rule_hot_no_alloc(path, toks, dir, &out);
+  out.insert(out.end(), dir.region_errors.begin(), dir.region_errors.end());
+  rule_fp_accumulate(path, toks, dir, &out);
+  rule_err_swallow(path, toks, &out);
+  rule_nodiscard_result(path, toks, opt, &out);
+
+  // Raw source lines (pre-blanking) for excerpts.
+  std::vector<std::string> raw;
+  {
+    std::stringstream ss(contents);
+    std::string l;
+    while (std::getline(ss, l)) raw.push_back(l);
+  }
+  for (Finding& f : out) {
+    if (f.line >= 1 && f.line <= static_cast<int>(raw.size()))
+      f.excerpt = trimmed_line(raw[f.line - 1]);
+    // ||: fp-accumulate pre-marks fp-order-ok annotated calls as suppressed.
+    f.suppressed = f.suppressed || line_suppressed(lines, f.line, f.rule);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  // One diagnostic per (line, rule): a single bad line should not dominate
+  // the report.
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Finding& a, const Finding& b) {
+                          return a.line == b.line && a.rule == b.rule;
+                        }),
+            out.end());
+  return out;
+}
+
+std::vector<Finding> scan_file(const std::string& path,
+                               const std::string& report_as,
+                               const Options& opt) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {{report_as.empty() ? path : report_as, 0, "io",
+             "cannot open file", "", false, false}};
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return scan_source(report_as.empty() ? path : report_as, ss.str(), opt);
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string baseline_key(const Finding& f) {
+  std::ostringstream os;
+  os << norm_path(f.file) << "|" << f.rule << "|" << std::hex
+     << fnv1a(f.excerpt);
+  return os.str();
+}
+
+std::set<std::string> load_baseline(const std::string& path) {
+  std::set<std::string> keys;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string t = trimmed_line(line);
+    if (t.empty() || t[0] == '#') continue;
+    keys.insert(t);
+  }
+  return keys;
+}
+
+void apply_baseline(std::vector<Finding>& findings,
+                    const std::set<std::string>& baseline) {
+  for (Finding& f : findings)
+    if (!f.suppressed && baseline.count(baseline_key(f))) f.baselined = true;
+}
+
+bool has_active(const std::vector<Finding>& findings) {
+  for (const Finding& f : findings)
+    if (!f.suppressed && !f.baselined) return true;
+  return false;
+}
+
+std::string json_report(std::vector<Finding> findings) {
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  std::map<std::string, int> counts;
+  for (const Rule& r : rules()) counts[r.id] = 0;
+  int n_active = 0, n_suppressed = 0, n_baselined = 0;
+  for (const Finding& f : findings) {
+    if (f.suppressed)
+      ++n_suppressed;
+    else if (f.baselined)
+      ++n_baselined;
+    else {
+      ++n_active;
+      ++counts[f.rule];
+    }
+  }
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"dimmer-lint\",\n  \"version\": 1,\n  \"rules\": [\n";
+  for (std::size_t i = 0; i < rules().size(); ++i) {
+    const Rule& r = rules()[i];
+    os << "    {\"id\": " << util::json_quote(r.id)
+       << ", \"summary\": " << util::json_quote(r.summary) << "}"
+       << (i + 1 < rules().size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"counts\": {";
+  bool first = true;
+  for (const auto& [id, n] : counts) {
+    os << (first ? "" : ", ") << util::json_quote(id) << ": " << n;
+    first = false;
+  }
+  os << "},\n";
+  os << "  \"total_active\": " << n_active << ",\n";
+  os << "  \"total_suppressed\": " << n_suppressed << ",\n";
+  os << "  \"total_baselined\": " << n_baselined << ",\n";
+  os << "  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"file\": " << util::json_quote(norm_path(f.file))
+       << ", \"line\": " << f.line << ", \"rule\": " << util::json_quote(f.rule)
+       << ",\n     \"message\": " << util::json_quote(f.message)
+       << ",\n     \"excerpt\": " << util::json_quote(f.excerpt)
+       << ", \"suppressed\": " << (f.suppressed ? "true" : "false")
+       << ", \"baselined\": " << (f.baselined ? "true" : "false") << "}";
+  }
+  os << (findings.empty() ? "" : "\n  ") << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace dimmer::lint

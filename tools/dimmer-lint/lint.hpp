@@ -1,0 +1,142 @@
+// dimmer-lint — project-specific static analysis for the determinism and
+// hot-path contracts this repository's results depend on.
+//
+// Every figure, ablation and fault-recovery artifact in this repo is defended
+// by *dynamic* bit-identity checks (jobs=1 vs jobs=8 JSON diffs, RNG-lockstep
+// tests, the differential flood suite). dimmer-lint proves the same
+// invariants *statically*: a token-level scanner (comment/string aware, no
+// full AST) over src/, bench/ and examples/ that flags the constructs those
+// dynamic tests exist to catch, before CI ever runs a simulation.
+//
+// Rules (each individually suppressible):
+//
+//   det-clock        Wall-clock and ambient-randomness reads
+//                    (std::chrono::*_clock::now, time(), std::rand,
+//                    std::random_device, std::mt19937, ...) outside
+//                    src/util/.  All randomness must flow through forked
+//                    util::Pcg32 streams; all timing through util/wallclock
+//                    (reporting only, stripped from byte-identity diffs).
+//
+//   det-umap-iter    Range-for / begin() traversal of a std::unordered_map
+//                    or std::unordered_set.  Iteration order is
+//                    implementation-defined, so any result or serialized
+//                    output derived from it is nondeterministic.  Use
+//                    std::map, a sorted key vector, or lookups only.
+//
+//   hot-no-alloc     new / make_unique / container-growing calls inside a
+//                    region bracketed by
+//                       // dimmer-lint: hot-path begin
+//                       // dimmer-lint: hot-path end
+//                    These regions mark the PR 4 zero-allocation flood loop
+//                    and its workspace users; the allocation-counting test
+//                    (tests/flood/test_workspace.cpp) enforces the same
+//                    contract dynamically.
+//
+//   fp-accumulate    std::accumulate / std::reduce / std::transform_reduce /
+//                    std::inner_product calls.  Floating-point reduction
+//                    order changes results bit-for-bit; result paths must
+//                    make the order explicit (a plain loop) or annotate the
+//                    call with `// dimmer-lint: fp-order-ok`.
+//
+//   err-swallow      `catch (...)` (which can hide determinism bugs as
+//                    silently-absorbed exceptions) and syntactically empty
+//                    catch handlers.
+//
+//   nodiscard-result Definitions of the result structs the experiment
+//                    pipeline depends on (FloodResult, TrialResult,
+//                    RoundResult) without [[nodiscard]]: a silently dropped
+//                    result is how a bench diverges from what it reports.
+//
+// Suppression:
+//   // NOLINT-DIMMER              suppress every rule on this line
+//   // NOLINT-DIMMER(rule[,rule]) suppress the named rules on this line
+//   // NOLINTNEXTLINE-DIMMER[(rules)]  same, for the following line
+//
+// Baseline: a checked-in file of `path|rule|hash` keys (see baseline_key);
+// matching findings are reported as baselined and do not fail the run. The
+// shipped baseline (tools/dimmer-lint/baseline.txt) is empty — the repo is
+// clean — and a test asserts it stays that way.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dimmer::lint {
+
+/// One lint rule, as listed by `dimmer-lint --list-rules` and in the JSON
+/// report.
+struct Rule {
+  std::string id;
+  std::string summary;
+};
+
+/// The fixed rule table, in report order.
+const std::vector<Rule>& rules();
+
+/// True if `id` names a known rule.
+bool is_rule(const std::string& id);
+
+/// One diagnostic. `file` is reported exactly as handed to the scanner, so
+/// callers control whether paths are absolute or repo-relative.
+struct Finding {
+  std::string file;
+  int line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+  std::string excerpt;      ///< trimmed source line
+  bool suppressed = false;  ///< hit an inline NOLINT-DIMMER annotation
+  bool baselined = false;   ///< matched the baseline file
+};
+
+/// Scanner configuration. Defaults encode this repo's policy.
+struct Options {
+  /// Path prefixes (after '\' -> '/' normalization) where det-clock is
+  /// allowed: the wall-clock wrapper itself, and the lint tool.
+  std::vector<std::string> clock_exempt_prefixes = {"src/util/", "tools/"};
+  /// Result types that must be declared [[nodiscard]].
+  std::vector<std::string> nodiscard_types = {"FloodResult", "TrialResult",
+                                              "RoundResult"};
+};
+
+/// Scans one translation unit. `path` is used for reporting and for the
+/// path-scoped rules (det-clock exemptions); `contents` is the source text.
+/// Findings are ordered by line.
+std::vector<Finding> scan_source(const std::string& path,
+                                 const std::string& contents,
+                                 const Options& opt = Options());
+
+/// Reads `path` from disk and scans it. `report_as`, if non-empty, replaces
+/// `path` in the findings (used to keep report paths repo-relative).
+std::vector<Finding> scan_file(const std::string& path,
+                               const std::string& report_as = "",
+                               const Options& opt = Options());
+
+/// Stable baseline key: "path|rule|fnv1a(trimmed excerpt)". Content-hashed
+/// rather than line-numbered so unrelated edits above a baselined finding do
+/// not invalidate it.
+std::string baseline_key(const Finding& f);
+
+/// Parses a baseline file: one key per line, '#' comments and blank lines
+/// ignored. A missing file yields an empty set.
+std::set<std::string> load_baseline(const std::string& path);
+
+/// Marks findings whose baseline_key is in `baseline` as baselined.
+void apply_baseline(std::vector<Finding>& findings,
+                    const std::set<std::string>& baseline);
+
+/// True if any finding is active (neither suppressed nor baselined) — the
+/// process exit criterion.
+bool has_active(const std::vector<Finding>& findings);
+
+/// Machine-readable report: rule table, per-rule active counts, and every
+/// finding (including suppressed/baselined ones, flagged as such). Output is
+/// byte-deterministic: findings sorted by (file, line, rule), numbers
+/// emitted via util::json_number.
+std::string json_report(std::vector<Finding> findings);
+
+/// FNV-1a 64-bit over `s` (exposed for tests).
+std::uint64_t fnv1a(const std::string& s);
+
+}  // namespace dimmer::lint

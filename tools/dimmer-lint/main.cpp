@@ -1,0 +1,195 @@
+// dimmer-lint CLI. See lint.hpp for the rule catalogue.
+//
+// Usage:
+//   dimmer-lint [--root DIR] [--baseline FILE] [--json FILE]
+//               [--write-baseline FILE] [--list-rules] [--quiet]
+//               <file-or-directory>...
+//
+// Directories are scanned recursively for .cpp/.cc/.hpp/.h files (build
+// trees and dotted directories are skipped). Paths in diagnostics and in the
+// JSON report are made relative to --root (default: the current directory)
+// so reports are machine-independent and baseline keys are stable.
+//
+// Exit status: 0 if every finding is suppressed or baselined, 1 otherwise,
+// 2 on usage errors. CI runs:
+//   dimmer-lint --root . --baseline tools/dimmer-lint/baseline.txt
+//               --json lint-report.json src bench examples
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using dimmer::lint::Finding;
+
+namespace {
+
+bool has_source_ext(const fs::path& p) {
+  std::string e = p.extension().string();
+  return e == ".cpp" || e == ".cc" || e == ".hpp" || e == ".h";
+}
+
+bool skip_dir(const fs::path& p) {
+  std::string name = p.filename().string();
+  return name.empty() || name[0] == '.' || name.rfind("build", 0) == 0;
+}
+
+// Returns false (and reports) if `p` does not exist — a lint invocation
+// naming a missing path must fail loudly, not scan an empty set.
+bool collect(const fs::path& p, std::vector<fs::path>* out) {
+  std::error_code ec;
+  if (fs::is_directory(p, ec)) {
+    std::vector<fs::path> entries;
+    for (const auto& e : fs::directory_iterator(p, ec)) entries.push_back(e);
+    // Sorted traversal: report order (and thus the JSON report) must not
+    // depend on readdir() order.
+    std::sort(entries.begin(), entries.end());
+    bool ok = true;
+    for (const fs::path& e : entries) {
+      if (fs::is_directory(e, ec)) {
+        if (!skip_dir(e)) ok = collect(e, out) && ok;
+      } else if (has_source_ext(e)) {
+        out->push_back(e);
+      }
+    }
+    return ok;
+  }
+  if (fs::exists(p, ec)) {
+    out->push_back(p);
+    return true;
+  }
+  std::cerr << "dimmer-lint: no such path: " << p.string() << "\n";
+  return false;
+}
+
+std::string relative_to(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  std::string s = (ec || rel.empty() || *rel.begin() == "..")
+                      ? p.string()
+                      : rel.string();
+  std::replace(s.begin(), s.end(), '\\', '/');
+  return s;
+}
+
+int usage(int code) {
+  std::cerr
+      << "usage: dimmer-lint [--root DIR] [--baseline FILE] [--json FILE]\n"
+         "                   [--write-baseline FILE] [--list-rules] "
+         "[--quiet] <path>...\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".", baseline_path, json_path, write_baseline_path;
+  bool list_rules = false, quiet = false;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "dimmer-lint: " << a << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--root")
+      root = next();
+    else if (a == "--baseline")
+      baseline_path = next();
+    else if (a == "--json")
+      json_path = next();
+    else if (a == "--write-baseline")
+      write_baseline_path = next();
+    else if (a == "--list-rules")
+      list_rules = true;
+    else if (a == "--quiet")
+      quiet = true;
+    else if (a == "--help" || a == "-h")
+      return usage(0);
+    else if (!a.empty() && a[0] == '-') {
+      std::cerr << "dimmer-lint: unknown option " << a << "\n";
+      return usage(2);
+    } else {
+      inputs.push_back(a);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& r : dimmer::lint::rules())
+      std::cout << r.id << "\n    " << r.summary << "\n";
+    if (inputs.empty()) return 0;
+  }
+  if (inputs.empty()) return usage(2);
+
+  // Relative inputs are resolved against --root, so the CLI behaves the same
+  // from any working directory (CI runs from the repo root; the CMake `lint`
+  // target runs from the build tree).
+  std::vector<fs::path> files;
+  bool inputs_ok = true;
+  for (const std::string& in : inputs) {
+    fs::path p(in);
+    if (p.is_relative() && !fs::exists(p)) p = fs::path(root) / p;
+    inputs_ok = collect(p, &files) && inputs_ok;
+  }
+  if (!inputs_ok) return 2;
+
+  dimmer::lint::Options opt;
+  std::vector<Finding> findings;
+  for (const fs::path& f : files) {
+    std::vector<Finding> fs_ =
+        dimmer::lint::scan_file(f.string(), relative_to(f, root), opt);
+    findings.insert(findings.end(), fs_.begin(), fs_.end());
+  }
+
+  if (!baseline_path.empty())
+    dimmer::lint::apply_baseline(findings,
+                                 dimmer::lint::load_baseline(baseline_path));
+
+  int active = 0, suppressed = 0, baselined = 0;
+  for (const Finding& f : findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      continue;
+    }
+    if (f.baselined) {
+      ++baselined;
+      continue;
+    }
+    ++active;
+    if (!quiet)
+      std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n    " << f.excerpt << "\n";
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::vector<std::string> keys;
+    for (const Finding& f : findings)
+      if (!f.suppressed) keys.push_back(dimmer::lint::baseline_key(f));
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    std::ofstream out(write_baseline_path);
+    out << "# dimmer-lint baseline: one `path|rule|excerpt-hash` key per "
+           "line.\n# Regenerate with --write-baseline; keep this empty — fix "
+           "or NOLINT-DIMMER new findings instead.\n";
+    for (const std::string& k : keys) out << k << "\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << dimmer::lint::json_report(findings);
+  }
+
+  if (!quiet)
+    std::cerr << "dimmer-lint: " << files.size() << " files, " << active
+              << " active, " << suppressed << " suppressed, " << baselined
+              << " baselined\n";
+  return dimmer::lint::has_active(findings) ? 1 : 0;
+}
