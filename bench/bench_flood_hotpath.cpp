@@ -25,6 +25,7 @@
 #include "tests/flood/reference_glossy.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
+#include "util/simd/simd.hpp"
 #include "util/wallclock.hpp"
 
 using namespace dimmer;
@@ -135,6 +136,9 @@ int main() {
 
   std::string rows;
   bool identical = true;
+  // Which util/simd backend the optimized engine was compiled against —
+  // speedups are only comparable within a backend.
+  std::printf("simd backend: %s\n\n", util::simd::backend_name());
   std::printf("%-18s %12s %12s %10s %10s %8s\n", "scenario", "ref fl/s",
               "opt fl/s", "ref ns/st", "opt ns/st", "speedup");
   for (const Scenario& sc : scenarios) {
@@ -174,7 +178,8 @@ int main() {
   const std::string path = exp::output_path("flood_hotpath");
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out << "{\"bench\": \"flood_hotpath\", \"schema_version\": 1, "
-         "\"scenarios\": ["
+         "\"simd_backend\": "
+      << util::json_quote(util::simd::backend_name()) << ", \"scenarios\": ["
       << rows << "]}\n";
   out.close();
   std::cout << "\nwrote " << path << "\n";

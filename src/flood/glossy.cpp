@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "phy/batched.hpp"
 #include "phy/per.hpp"
 #include "phy/propagation.hpp"
 #include "util/check.hpp"
+#include "util/simd/simd.hpp"
 
 namespace dimmer::flood {
 
@@ -64,7 +66,13 @@ int GlossyFlood::max_steps(const FloodParams& p,
   sim::TimeUs step = step_len_us(p, radio);
   DIMMER_REQUIRE(step > 0 && p.slot_len_us >= step,
                  "slot too short for even one frame");
-  return static_cast<int>(p.slot_len_us / step);
+  // The quotient is 64-bit; truncating it straight through static_cast<int>
+  // used to wrap a pathological slot_len_us (fuzzed/hand-edited scenarios)
+  // into a tiny or negative step count, silently simulating the wrong slot.
+  const sim::TimeUs q = p.slot_len_us / step;
+  DIMMER_REQUIRE(q <= kMaxFloodSteps,
+                 "slot_len_us/step exceeds kMaxFloodSteps");
+  return static_cast<int>(q);
 }
 
 FloodResult GlossyFlood::run(phy::NodeId initiator,
@@ -92,6 +100,12 @@ void GlossyFlood::run_into(phy::NodeId initiator,
   DIMMER_REQUIRE(configs[static_cast<std::size_t>(initiator)].participates,
                  "initiator must participate");
   DIMMER_REQUIRE(phy::is_valid_channel(params.channel), "invalid channel");
+  // Non-finite powers would defeat the LinkModel's != cache check (NaN
+  // rebuilds every flood) and poison SINR/PER; non-positive payloads make
+  // airtime/steps meaningless. Reject both up front.
+  DIMMER_REQUIRE(std::isfinite(params.tx_power_dbm),
+                 "tx_power_dbm must be finite");
+  DIMMER_REQUIRE(params.payload_bytes > 0, "payload_bytes must be positive");
   for (const auto& c : configs)
     DIMMER_REQUIRE(c.n_tx >= 0, "negative n_tx");
 
@@ -121,6 +135,8 @@ void GlossyFlood::run_into(phy::NodeId initiator,
   ws.strongest_mw.resize(un);
   ws.transmitters.clear();
   ws.transmitters.reserve(un);
+  ws.rx_nodes.resize(un);
+  ws.rx_batch.resize(n);
 
   out.nodes.assign(un, NodeFloodResult{});
   out.participated.assign(un, false);
@@ -195,7 +211,20 @@ void GlossyFlood::run_into(phy::NodeId initiator,
         const double* row = links.row(tx);
         double* total = ws.total_mw.data();
         double* strongest = ws.strongest_mw.data();
-        for (int i = 0; i < n; ++i) {
+        // Lanewise add/max over the contiguous row, transmitters in the same
+        // ascending order as the historical per-listener loop: exact IEEE
+        // ops with no cross-lane reduction, so this site is bit-identical on
+        // every backend (DESIGN.md §12).
+        using util::simd::vdouble;
+        constexpr int kW = util::simd::native_width;
+        int i = 0;
+        for (; i + kW <= n; i += kW) {
+          const vdouble p = vdouble::load(row + i);
+          (vdouble::load(total + i) + p).store(total + i);
+          util::simd::max(vdouble::load(strongest + i), p)
+              .store(strongest + i);
+        }
+        for (; i < n; ++i) {  // scalar tail: the same add/max ops
           const double p_mw = row[i];
           total[i] += p_mw;
           strongest[i] = std::max(strongest[i], p_mw);
@@ -203,7 +232,15 @@ void GlossyFlood::run_into(phy::NodeId initiator,
       }
     }
 
-    // 3b. Receptions for every awake listener.
+    // 3b. Receptions for every awake listener, in three passes:
+    //     gather (all RNG draws, in the historical per-listener order:
+    //     fading normal first, Bernoulli uniform second, listeners
+    //     ascending), one batched evaluation of the transcendental chain
+    //     (phy::reception_success_batch — the scalar backend replays the
+    //     historical expressions verbatim), then decision application.
+    //     rng.bernoulli(p) is exactly uniform() < p, so pre-drawing the
+    //     uniform leaves the stream and the decisions bit-identical.
+    int n_rx = 0;
     for (phy::NodeId i = 0; i < n; ++i) {
       FloodWorkspace::NodeScratch& s = ws.state[static_cast<std::size_t>(i)];
       if (s.finished) continue;
@@ -211,36 +248,41 @@ void GlossyFlood::run_into(phy::NodeId initiator,
       if (ws.is_tx[static_cast<std::size_t>(i)] || !any_tx) continue;
       if (s.has_packet) continue;  // re-receptions only maintain sync
 
-      // Partially-coherent combining of all concurrent identical frames.
-      const double strongest_mw = ws.strongest_mw[static_cast<std::size_t>(i)];
-      const double total_mw = ws.total_mw[static_cast<std::size_t>(i)];
-      double signal_mw =
-          strongest_mw + coherence_gain * (total_mw - strongest_mw);
+      const auto r = static_cast<std::size_t>(n_rx);
+      ws.rx_batch.strongest_mw[r] =
+          ws.strongest_mw[static_cast<std::size_t>(i)];
+      ws.rx_batch.total_mw[r] = ws.total_mw[static_cast<std::size_t>(i)];
       // Per-reception block fading at the listener.
-      if (fading_sigma > 0.0)
-        signal_mw *= std::pow(10.0, rng.normal(0.0, fading_sigma) / 10.0);
-
+      ws.rx_batch.fade_db[r] =
+          fading_sigma > 0.0 ? rng.normal(0.0, fading_sigma) : 0.0;
       phy::InterferenceSample interf =
           interf_->sample(t0, t1, params.channel, i, topo);
       if (observed) {
         exposure_sum += interf.exposure;
         ++exposure_n;
       }
-      const double signal_dbm = phy::mw_to_dbm(signal_mw);
-      double sinr_clean_db = signal_dbm - noise_dbm;
-      // Zero interference power leaves the denominator at exactly noise_mw,
-      // so the hoisted noise_dbm is the same bits as recomputing it.
-      double sinr_jam_db =
-          interf.power_mw == 0.0
-              ? sinr_clean_db
-              : signal_dbm - phy::mw_to_dbm(noise_mw + interf.power_mw);
-      double p_ok = phy::frame_success_prob(sinr_clean_db, sinr_jam_db,
-                                            interf.exposure, frame_bytes);
-      if (rng.bernoulli(p_ok)) {
-        s.has_packet = true;
-        s.first_step = t;
-        if (ws.budget[static_cast<std::size_t>(i)] == 0)
-          s.finished = true;  // passive receiver: done
+      ws.rx_batch.interf_mw[r] = interf.power_mw;
+      ws.rx_batch.jam_fraction[r] = interf.exposure;
+      ws.rx_batch.uniform[r] = rng.uniform();  // the Bernoulli draw
+      ws.rx_nodes[r] = i;
+      ++n_rx;
+    }
+    ws.rx_batch.count = n_rx;
+
+    if (n_rx > 0) {
+      phy::reception_success_batch(ws.rx_batch, coherence_gain,
+                                   fading_sigma > 0.0, noise_mw, noise_dbm,
+                                   frame_bytes);
+      for (int r = 0; r < n_rx; ++r) {
+        const auto ur = static_cast<std::size_t>(r);
+        if (ws.rx_batch.uniform[ur] < ws.rx_batch.p_ok[ur]) {
+          FloodWorkspace::NodeScratch& s =
+              ws.state[static_cast<std::size_t>(ws.rx_nodes[ur])];
+          s.has_packet = true;
+          s.first_step = t;
+          if (ws.budget[static_cast<std::size_t>(ws.rx_nodes[ur])] == 0)
+            s.finished = true;  // passive receiver: done
+        }
       }
     }
 

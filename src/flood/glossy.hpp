@@ -39,6 +39,12 @@
 
 namespace dimmer::flood {
 
+/// Documented cap on airtime steps per flood slot (~1M steps; every slot the
+/// paper's protocols use is < 100 steps). GlossyFlood::max_steps rejects
+/// slot_len_us / step quotients above this instead of letting the 64-bit
+/// quotient wrap through an int truncation.
+inline constexpr int kMaxFloodSteps = 1 << 20;
+
 /// Per-node flood configuration.
 struct NodeFloodConfig {
   /// Retransmission budget. 0 = passive receiver (radio off after first RX).

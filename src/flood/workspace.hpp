@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "phy/batched.hpp"
 #include "phy/topology.hpp"
 #include "sim/time.hpp"
 
@@ -34,6 +35,8 @@ struct FloodWorkspace {
   std::vector<int> budget;                ///< effective per-node TX budgets
   std::vector<double> total_mw;           ///< combined concurrent power per rx
   std::vector<double> strongest_mw;       ///< strongest concurrent power per rx
+  phy::ReceptionBatch rx_batch;           ///< step-3b reception staging (SoA)
+  std::vector<phy::NodeId> rx_nodes;      ///< node id per rx_batch entry
 
   /// Pre-sizes every buffer for an `n`-node topology (optional; run_into
   /// sizes on demand — calling this up front just front-loads the one-time
@@ -46,6 +49,8 @@ struct FloodWorkspace {
     budget.reserve(m);
     total_mw.reserve(m);
     strongest_mw.reserve(m);
+    rx_nodes.reserve(m);
+    rx_batch.resize(n);
   }
 };
 

@@ -1,0 +1,194 @@
+#include "phy/batched.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phy/propagation.hpp"
+#include "util/check.hpp"
+
+namespace dimmer::phy {
+
+namespace {
+
+using util::simd::native_width;
+using util::simd::vdouble;
+
+// Tail policy: remainders (count % native_width) are copied into a benign
+// stack pad and run through the *same* vector kernel, so a value's result
+// never depends on whether it landed in a full chunk or the tail. (At
+// native_width == 1 there is no tail and the loops below are the plain
+// scalar loops.)
+constexpr int kW = native_width;
+
+}  // namespace
+
+void dbm_to_mw_batch(const double* dbm, double* mw, int count) {
+  if constexpr (kW == 1) {
+    for (int i = 0; i < count; ++i) mw[i] = dbm_to_mw(dbm[i]);
+  } else {
+    const vdouble ten = vdouble::broadcast(10.0);
+    int i = 0;
+    for (; i + kW <= count; i += kW) {
+      util::simd::exp10(vdouble::load(dbm + i) / ten).store(mw + i);
+    }
+    if (i < count) {
+      double pad_in[kW] = {};
+      double pad_out[kW];
+      std::copy(dbm + i, dbm + count, pad_in);
+      util::simd::exp10(vdouble::load(pad_in) / ten).store(pad_out);
+      std::copy(pad_out, pad_out + (count - i), mw + i);
+    }
+  }
+}
+
+void ber_802154_batch(const double* sinr_db, double* ber, int count) {
+  if constexpr (kW == 1) {
+    using s1 = util::simd::simd<double, 1>;
+    for (int i = 0; i < count; ++i) {
+      ber[i] = simd_kernels::ber_802154_kernel(s1(sinr_db[i])).v;
+    }
+  } else {
+    int i = 0;
+    for (; i + kW <= count; i += kW) {
+      simd_kernels::ber_802154_kernel(vdouble::load(sinr_db + i))
+          .store(ber + i);
+    }
+    if (i < count) {
+      double pad_in[kW] = {};
+      double pad_out[kW];
+      std::copy(sinr_db + i, sinr_db + count, pad_in);
+      simd_kernels::ber_802154_kernel(vdouble::load(pad_in)).store(pad_out);
+      std::copy(pad_out, pad_out + (count - i), ber + i);
+    }
+  }
+}
+
+void frame_success_prob_batch(const double* sinr_clean_db,
+                              const double* sinr_jammed_db,
+                              const double* jam_fraction, int frame_bytes,
+                              double* p_ok, int count) {
+  DIMMER_REQUIRE(frame_bytes > 0, "frame_bytes must be positive");
+  if constexpr (kW == 1) {
+    for (int i = 0; i < count; ++i) {
+      p_ok[i] = frame_success_prob(sinr_clean_db[i], sinr_jammed_db[i],
+                                   jam_fraction[i], frame_bytes);
+    }
+  } else {
+    int i = 0;
+    for (; i + kW <= count; i += kW) {
+      simd_kernels::frame_success_kernel(vdouble::load(sinr_clean_db + i),
+                                         vdouble::load(sinr_jammed_db + i),
+                                         vdouble::load(jam_fraction + i),
+                                         frame_bytes)
+          .store(p_ok + i);
+    }
+    if (i < count) {
+      double pad_clean[kW] = {};
+      double pad_jam[kW] = {};
+      double pad_frac[kW] = {};
+      double pad_out[kW];
+      std::copy(sinr_clean_db + i, sinr_clean_db + count, pad_clean);
+      std::copy(sinr_jammed_db + i, sinr_jammed_db + count, pad_jam);
+      std::copy(jam_fraction + i, jam_fraction + count, pad_frac);
+      simd_kernels::frame_success_kernel(
+          vdouble::load(pad_clean), vdouble::load(pad_jam),
+          vdouble::load(pad_frac), frame_bytes)
+          .store(pad_out);
+      std::copy(pad_out, pad_out + (count - i), p_ok + i);
+    }
+  }
+}
+
+namespace {
+
+// One vector chunk of the step-3b reception chain. Pointers index the
+// chunk's first element; lanes are independent listeners.
+inline vdouble reception_chunk(const double* strongest, const double* total,
+                               const double* fade, const double* interf,
+                               const double* frac, double coherence_gain,
+                               bool apply_fading, double noise_mw,
+                               double noise_dbm, int frame_bytes) {
+  using util::simd::select_eq;
+  const vdouble s = vdouble::load(strongest);
+  const vdouble t = vdouble::load(total);
+  vdouble sig = s + vdouble::broadcast(coherence_gain) * (t - s);
+  if (apply_fading) {
+    sig = sig * util::simd::exp10(vdouble::load(fade) /
+                                  vdouble::broadcast(10.0));
+  }
+  const vdouble sig_dbm = simd_kernels::mw_to_dbm_kernel(sig);
+  const vdouble sinr_clean = sig_dbm - vdouble::broadcast(noise_dbm);
+  const vdouble iv = vdouble::load(interf);
+  const vdouble denom_dbm =
+      simd_kernels::mw_to_dbm_kernel(vdouble::broadcast(noise_mw) + iv);
+  const vdouble sinr_jam = select_eq(iv, vdouble::broadcast(0.0), sinr_clean,
+                                     sig_dbm - denom_dbm);
+  return simd_kernels::frame_success_kernel(sinr_clean, sinr_jam,
+                                            vdouble::load(frac), frame_bytes);
+}
+
+}  // namespace
+
+void reception_success_batch(ReceptionBatch& b, double coherence_gain,
+                             bool apply_fading, double noise_mw,
+                             double noise_dbm, int frame_bytes) {
+  const int count = b.count;
+  DIMMER_DEBUG_ASSERT(count <= static_cast<int>(b.strongest_mw.size()),
+                      "ReceptionBatch count exceeds its arrays");
+  if constexpr (kW == 1) {
+    // The historical per-listener expressions, verbatim: this path is what
+    // keeps the scalar backend byte-identical to the pre-SIMD engine.
+    for (int i = 0; i < count; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      const double strongest = b.strongest_mw[u];
+      double signal_mw =
+          strongest + coherence_gain * (b.total_mw[u] - strongest);
+      if (apply_fading)
+        signal_mw *= std::pow(10.0, b.fade_db[u] / 10.0);
+      const double signal_dbm = mw_to_dbm(signal_mw);
+      const double sinr_clean_db = signal_dbm - noise_dbm;
+      const double sinr_jam_db =
+          b.interf_mw[u] == 0.0
+              ? sinr_clean_db
+              : signal_dbm - mw_to_dbm(noise_mw + b.interf_mw[u]);
+      b.p_ok[u] = frame_success_prob(sinr_clean_db, sinr_jam_db,
+                                     b.jam_fraction[u], frame_bytes);
+    }
+  } else {
+    int i = 0;
+    for (; i + kW <= count; i += kW) {
+      reception_chunk(b.strongest_mw.data() + i, b.total_mw.data() + i,
+                      b.fade_db.data() + i, b.interf_mw.data() + i,
+                      b.jam_fraction.data() + i, coherence_gain, apply_fading,
+                      noise_mw, noise_dbm, frame_bytes)
+          .store(b.p_ok.data() + i);
+    }
+    if (i < count) {
+      const int rem = count - i;
+      // Benign pad: 1 mW signal, no fading/interference — keeps every lane
+      // inside the kernels' (positive, finite) domain.
+      double pad_s[kW], pad_t[kW], pad_f[kW], pad_i[kW], pad_j[kW];
+      double pad_out[kW];
+      for (int l = 0; l < kW; ++l) {
+        pad_s[l] = 1.0;
+        pad_t[l] = 1.0;
+        pad_f[l] = 0.0;
+        pad_i[l] = 0.0;
+        pad_j[l] = 0.0;
+      }
+      std::copy(b.strongest_mw.data() + i, b.strongest_mw.data() + count,
+                pad_s);
+      std::copy(b.total_mw.data() + i, b.total_mw.data() + count, pad_t);
+      std::copy(b.fade_db.data() + i, b.fade_db.data() + count, pad_f);
+      std::copy(b.interf_mw.data() + i, b.interf_mw.data() + count, pad_i);
+      std::copy(b.jam_fraction.data() + i, b.jam_fraction.data() + count,
+                pad_j);
+      reception_chunk(pad_s, pad_t, pad_f, pad_i, pad_j, coherence_gain,
+                      apply_fading, noise_mw, noise_dbm, frame_bytes)
+          .store(pad_out);
+      std::copy(pad_out, pad_out + rem, b.p_ok.data() + i);
+    }
+  }
+}
+
+}  // namespace dimmer::phy

@@ -1,6 +1,10 @@
 #include "phy/link_model.hpp"
 
+#include <cmath>
+
+#include "phy/batched.hpp"
 #include "phy/propagation.hpp"
+#include "util/check.hpp"
 
 namespace dimmer::phy {
 
@@ -10,15 +14,24 @@ CachedLinkModel::CachedLinkModel(const Topology& topo) : topo_(&topo) {
 }
 
 LinkMatrixView CachedLinkModel::prepare(double tx_power_dbm) {
+  // A NaN power would fail the != cache check on *every* call (NaN != NaN),
+  // silently rebuilding the O(N^2) matrix per flood and filling it with NaN
+  // that poisons SINR/PER downstream. Reject it here, at the seam.
+  DIMMER_REQUIRE(std::isfinite(tx_power_dbm), "tx_power_dbm must be finite");
   const int n = topo_->size();
   if (!valid_ || tx_power_dbm != cached_power_dbm_) {
     // Exactly the expression the flood engine historically evaluated inline
-    // per reception; precomputing it here is what keeps results bit-identical.
+    // per reception; precomputing it here is what keeps results bit-identical
+    // on the scalar backend (dbm_to_mw_batch is the bounded-ulp SIMD form on
+    // the wider ones — see DESIGN.md §12).
+    dbm_row_.resize(static_cast<std::size_t>(n));
     for (NodeId tx = 0; tx < n; ++tx) {
       double* row = mw_.data() + static_cast<std::size_t>(tx) *
                                      static_cast<std::size_t>(n);
       for (NodeId rx = 0; rx < n; ++rx)
-        row[rx] = dbm_to_mw(topo_->rx_power_dbm(tx, rx, tx_power_dbm));
+        dbm_row_[static_cast<std::size_t>(rx)] =
+            topo_->rx_power_dbm(tx, rx, tx_power_dbm);
+      dbm_to_mw_batch(dbm_row_.data(), row, n);
     }
     cached_power_dbm_ = tx_power_dbm;
     valid_ = true;

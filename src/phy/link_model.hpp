@@ -70,7 +70,8 @@ class CachedLinkModel final : public LinkModel {
 
  private:
   const Topology* topo_;
-  std::vector<double> mw_;  // row-major size*size
+  std::vector<double> mw_;        // row-major size*size
+  std::vector<double> dbm_row_;   // rebuild scratch: one row of dBm powers
   double cached_power_dbm_ = 0.0;
   bool valid_ = false;
   int rebuilds_ = 0;

@@ -1,0 +1,15 @@
+#include "util/simd/simd.hpp"
+
+namespace dimmer::util::simd {
+
+const char* backend_name() {
+#if defined(DIMMER_SIMD_AVX512)
+  return "avx512";
+#elif defined(DIMMER_SIMD_AVX2)
+  return "avx2";
+#else
+  return "scalar";
+#endif
+}
+
+}  // namespace dimmer::util::simd

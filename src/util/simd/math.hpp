@@ -1,0 +1,255 @@
+// Backend-generic vector math: exp / exp10 / log2 / exp2 / pow for the
+// simd<double, N> value types, written once against the primitive API.
+//
+// The kernels are Cephes-style rational approximations (the same family
+// glibc's historical libm and most SIMD math layers descend from): reduce
+// the argument with a Cody-Waite two-constant split, evaluate a short
+// rational P/Q in the reduced argument, then scale by 2^n through direct
+// exponent-field construction (exp2i). Accuracy is ~1-2 ulp across the
+// ranges this simulator feeds them (SINR-driven exponents, dBm<->mW
+// conversions, per-packet success powers).
+//
+// Determinism contract (DESIGN.md §12):
+//  - The public entry points dispatch on V::width. At width 1 they call the
+//    scalar std:: functions, so a scalar-backend build (DIMMER_SIMD=scalar)
+//    is *byte-identical* to code that never heard of util/simd.
+//  - At width > 1 the polynomial kernels run instead. They are pure
+//    lanewise functions — no cross-lane reduction anywhere — so results
+//    depend only on the input value, never on lane position or batch size.
+//  - The detail:: kernels are also instantiable at width 1, which is how the
+//    unit tests pin their accuracy on every build, including scalar-only.
+//
+// Preconditions: finite inputs. log2/pow require positive *normal* values
+// (the callers in src/phy select around zero/negative power lanes before
+// taking logs).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "util/simd/scalar.hpp"
+
+namespace dimmer::util::simd {
+
+namespace detail {
+
+/// Horner evaluation of a polynomial with coefficients highest-order first.
+template <typename V, std::size_t N>
+inline V polevl(V x, const double (&coef)[N]) {
+  V ans = V::broadcast(coef[0]);
+  for (std::size_t i = 1; i < N; ++i) {
+    ans = ans * x + V::broadcast(coef[i]);
+  }
+  return ans;
+}
+
+// Cephes exp() rational: exp(r) = 1 + 2r P(r^2) / (Q(r^2) - r P(r^2)) for
+// |r| <= 0.5 ln 2.
+constexpr double kExpP[] = {1.26177193074810590878e-4,
+                            3.02994407707441961300e-2,
+                            9.99999999999999999910e-1};
+constexpr double kExpQ[] = {3.00198505138664455042e-6,
+                            2.52448340349684104192e-3,
+                            2.27265548208155028766e-1,
+                            2.00000000000000000005e0};
+
+constexpr double kLog2E = 1.4426950408889634073599;   // 1/ln(2)
+constexpr double kC1 = 6.93145751953125e-1;           // ln(2) high part
+constexpr double kC2 = 1.42860682030941723212e-6;     // ln(2) low part
+constexpr double kExpMinArg = -708.396418532264106224;  // log(DBL_MIN)
+constexpr double kExpMaxArg = 709.782712893383996843;   // log(DBL_MAX)
+
+/// Shared tail of the exp-family kernels: the rational in the reduced
+/// argument `r` (|r| <= 0.347), scaled by 2^n with n pre-clamped to
+/// [-1022, 1024].
+template <typename V>
+inline V exp_rational_scaled(V r, V n) {
+  const V rr = r * r;
+  const V p = r * polevl(rr, kExpP);
+  const V q = polevl(rr, kExpQ) - p;
+  const V e = p / q;
+  return (V::broadcast(1.0) + (e + e)) * exp2i(n);
+}
+
+/// e^x. Lanes below log(DBL_MIN) flush to +0.0 (subnormal results are not
+/// produced); lanes above log(DBL_MAX) saturate to +inf.
+template <typename V>
+inline V poly_exp(V x) {
+  // Clamp into the normal-result domain *before* reduction. Without this,
+  // deeply negative lanes (the BER kernel routinely feeds exp(-600..-6000)
+  // at good SINR) drag a huge reduced argument through the rational and
+  // produce subnormal intermediates — an x86 microcode assist (~100 cycles
+  // per op) on values the flush select below discards anyway.
+  const V xc =
+      min(max(x, V::broadcast(kExpMinArg)), V::broadcast(kExpMaxArg));
+  V n = round_nearest(xc * V::broadcast(kLog2E));
+  n = min(max(n, V::broadcast(-1022.0)), V::broadcast(1024.0));
+  const V r = (xc - n * V::broadcast(kC1)) - n * V::broadcast(kC2);
+  V out = exp_rational_scaled(r, n);
+  out = select_lt(x, V::broadcast(kExpMinArg), V::broadcast(0.0), out);
+  out = select_lt(V::broadcast(kExpMaxArg), x, V::broadcast(
+                      std::numeric_limits<double>::infinity()),
+                  out);
+  return out;
+}
+
+constexpr double kLog210 = 3.32192809488736234787e0;  // log2(10)
+constexpr double kLg102A = 3.01025390625e-1;          // log10(2) high part
+constexpr double kLg102B = 4.60503898119521373889e-6;  // log10(2) low part
+constexpr double kLn10 = 2.30258509299404568402e0;
+constexpr double kExp10MaxArg = 308.2547155599167;   // log10(DBL_MAX)
+constexpr double kExp10MinArg = -307.6526555685888;  // log10(DBL_MIN)
+
+/// 10^x. Reduction is done in base 10 (r = x - n*log10(2), |r| <= 0.1505),
+/// then r*ln10 feeds the exp rational. Lanes below log10(DBL_MIN) flush to
+/// +0.0 (subnormal results are not produced); lanes above log10(DBL_MAX)
+/// saturate to +inf.
+template <typename V>
+inline V poly_exp10(V x) {
+  // Same pre-reduction clamp as poly_exp: keep out-of-domain lanes from
+  // generating subnormal intermediates the selects below discard.
+  const V xc =
+      min(max(x, V::broadcast(kExp10MinArg)), V::broadcast(kExp10MaxArg));
+  V n = round_nearest(xc * V::broadcast(kLog210));
+  n = min(max(n, V::broadcast(-1022.0)), V::broadcast(1024.0));
+  const V r =
+      ((xc - n * V::broadcast(kLg102A)) - n * V::broadcast(kLg102B)) *
+      V::broadcast(kLn10);
+  V out = exp_rational_scaled(r, n);
+  out = select_lt(x, V::broadcast(kExp10MinArg), V::broadcast(0.0), out);
+  out = select_lt(V::broadcast(kExp10MaxArg), x, V::broadcast(
+                      std::numeric_limits<double>::infinity()),
+                  out);
+  return out;
+}
+
+// Cephes exp2() rational (distinct coefficients from exp: the reduced
+// argument is |r| <= 0.5 in base 2).
+constexpr double kExp2P[] = {2.30933477057345225087e-2,
+                             2.02020656693165307700e1,
+                             1.51390680115615096133e3};
+constexpr double kExp2Q[] = {2.33184211722314911771e2,
+                             4.36821166879210612817e3};
+
+/// 2^x. Lanes below -1022 flush to +0.0; lanes at or above 1024 saturate to
+/// +inf.
+template <typename V>
+inline V poly_exp2(V x) {
+  // Pre-reduction clamp (see poly_exp): pow_positive(tiny, huge) would
+  // otherwise push a runaway reduced argument through the rational.
+  const V xc = min(max(x, V::broadcast(-1022.0)), V::broadcast(1024.0));
+  V n = round_nearest(xc);
+  const V r = xc - n;
+  const V rr = r * r;
+  const V p = r * polevl(rr, kExp2P);
+  // p1evl: leading coefficient of Q is an implicit 1.0.
+  const V q = ((rr + V::broadcast(kExp2Q[0])) * rr + V::broadcast(kExp2Q[1])) -
+              p;
+  const V e = p / q;
+  V out = (V::broadcast(1.0) + (e + e)) * exp2i(n);
+  out = select_lt(x, V::broadcast(-1022.0), V::broadcast(0.0), out);
+  out = select_lt(V::broadcast(1024.0), x + V::broadcast(1.0),
+                  V::broadcast(std::numeric_limits<double>::infinity()), out);
+  return out;
+}
+
+// Cephes log() rational, shared by log2: log(1+f) = f - f^2/2 +
+// f^3 P(f)/Q(f) on f in [sqrt(1/2)-1, sqrt(2)-1].
+constexpr double kLogP[] = {1.01875663804580931796e-4,
+                            4.97494994976747001425e-1,
+                            4.70579119878881725854e0,
+                            1.44989225341610930846e1,
+                            1.79368678507819816313e1,
+                            7.70838733755885391666e0};
+constexpr double kLogQ[] = {1.12873587189167450590e1,
+                            4.52279145837532221105e1,
+                            8.29875266912776603211e1,
+                            7.11544750618563894466e1,
+                            2.31251620126765340583e1};
+
+constexpr double kSqrtHalf = 7.07106781186547524401e-1;
+constexpr double kLog2EA = 4.4269504088896340735992e-1;  // log2(e) - 1
+
+/// log2(x) for positive normal x.
+template <typename V>
+inline V poly_log2(V x) {
+  // frexp: x = m * 2^e, m in [0.5, 1); fold m < sqrt(1/2) into the exponent
+  // so the reduced argument is centred on 1.
+  V e = exponent_part(x);
+  V m = mantissa_part(x);
+  e = select_lt(m, V::broadcast(kSqrtHalf), e - V::broadcast(1.0), e);
+  const V f = select_lt(m, V::broadcast(kSqrtHalf),
+                        (m + m) - V::broadcast(1.0), m - V::broadcast(1.0));
+  const V z = f * f;
+  // p1evl: Q has an implicit leading 1.0.
+  V q = f + V::broadcast(kLogQ[0]);
+  for (std::size_t i = 1; i < 5; ++i) {
+    q = q * f + V::broadcast(kLogQ[i]);
+  }
+  V y = f * (z * polevl(f, kLogP) / q);
+  y = y - V::broadcast(0.5) * z;
+  // Assemble in extended precision: log2(m) = (f + y) * log2(e)
+  //   = y*LOG2EA + f*LOG2EA + y + f, summed smallest-first.
+  V out = y * V::broadcast(kLog2EA);
+  out = out + f * V::broadcast(kLog2EA);
+  out = out + y;
+  out = out + f;
+  out = out + e;
+  return out;
+}
+
+/// x^y for positive normal x (exp2(y * log2(x))). Accuracy degrades with
+/// |y*log2(x)| (~0.5 ulp of the product is amplified into the exponent);
+/// for this simulator's powers (|y*log2(x)| < 2100) the end-to-end error
+/// stays within a few ulp.
+template <typename V>
+inline V poly_pow_positive(V x, V y) {
+  return poly_exp2(y * poly_log2(x));
+}
+
+}  // namespace detail
+
+/// e^x. Width 1 uses std::exp (bit-identical to scalar code); wider
+/// backends use the polynomial kernel (~1 ulp).
+template <typename V>
+inline V exp(V x) {
+  if constexpr (V::width == 1) {
+    return V(std::exp(x.v));
+  } else {
+    return detail::poly_exp(x);
+  }
+}
+
+/// 10^x. Width 1 uses std::pow(10.0, x) — the exact expression the scalar
+/// engine has always used for dBm -> mW — wider backends the kernel.
+template <typename V>
+inline V exp10(V x) {
+  if constexpr (V::width == 1) {
+    return V(std::pow(10.0, x.v));
+  } else {
+    return detail::poly_exp10(x);
+  }
+}
+
+/// log2(x), positive normal x only.
+template <typename V>
+inline V log2(V x) {
+  if constexpr (V::width == 1) {
+    return V(std::log2(x.v));
+  } else {
+    return detail::poly_log2(x);
+  }
+}
+
+/// x^y, positive normal x only.
+template <typename V>
+inline V pow_positive(V x, V y) {
+  if constexpr (V::width == 1) {
+    return V(std::pow(x.v, y.v));
+  } else {
+    return detail::poly_pow_positive(x, y);
+  }
+}
+
+}  // namespace dimmer::util::simd

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
 #include "core/scenarios.hpp"
@@ -221,6 +222,51 @@ TEST(GlossyFlood, RejectsBadArguments) {
   auto neg = uniform_configs(18, 3);
   neg[4].n_tx = -1;
   EXPECT_THROW(engine.run(0, neg, FloodParams{}, rng), util::RequireError);
+}
+
+TEST(GlossyFlood, RejectsNonFiniteTxPowerAndBadPayload) {
+  // Regression: a NaN tx_power_dbm used to sail into the LinkModel, where
+  // NaN != NaN defeated the cache check (rebuild every flood) and poisoned
+  // every SINR. Non-positive payloads similarly made airtime meaningless.
+  phy::Topology topo = phy::make_office18_topology();
+  phy::InterferenceField field;
+  GlossyFlood engine(topo, field);
+  util::Pcg32 rng(13);
+  FloodParams nan_power;
+  nan_power.tx_power_dbm = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(engine.run(0, uniform_configs(18, 3), nan_power, rng),
+               util::RequireError);
+  FloodParams inf_power;
+  inf_power.tx_power_dbm = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(engine.run(0, uniform_configs(18, 3), inf_power, rng),
+               util::RequireError);
+  FloodParams no_payload;
+  no_payload.payload_bytes = 0;
+  EXPECT_THROW(engine.run(0, uniform_configs(18, 3), no_payload, rng),
+               util::RequireError);
+  FloodParams neg_payload;
+  neg_payload.payload_bytes = -4;
+  EXPECT_THROW(engine.run(0, uniform_configs(18, 3), neg_payload, rng),
+               util::RequireError);
+}
+
+TEST(GlossyFlood, MaxStepsBoundaryAtDocumentedCap) {
+  // Regression: max_steps used to push the 64-bit slot/step quotient through
+  // static_cast<int>, so a pathological slot_len_us wrapped into a tiny or
+  // negative step count. The quotient is now checked against kMaxFloodSteps.
+  phy::RadioConstants radio;
+  FloodParams p;  // 30 B payload + 6 B PHY overhead -> 1152 us + 25 us
+  const sim::TimeUs step = GlossyFlood::step_len_us(p, radio);
+  ASSERT_GT(step, 0);
+
+  p.slot_len_us = step * static_cast<sim::TimeUs>(kMaxFloodSteps);
+  EXPECT_EQ(GlossyFlood::max_steps(p, radio), kMaxFloodSteps);
+
+  // One step past the cap (and far past it) must throw, not wrap.
+  p.slot_len_us = step * (static_cast<sim::TimeUs>(kMaxFloodSteps) + 1);
+  EXPECT_THROW(GlossyFlood::max_steps(p, radio), util::RequireError);
+  p.slot_len_us = std::numeric_limits<sim::TimeUs>::max();
+  EXPECT_THROW(GlossyFlood::max_steps(p, radio), util::RequireError);
 }
 
 // Property: the paper's central premise — under JamLab bursts, delivery

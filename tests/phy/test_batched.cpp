@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "phy/batched.hpp"
+#include "phy/per.hpp"
+#include "phy/propagation.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/simd/simd.hpp"
+
+namespace dimmer::phy {
+namespace {
+
+using s1 = util::simd::simd<double, 1>;
+constexpr int kW = util::simd::native_width;
+
+// Equivalence bound between the batch entry points and the historical scalar
+// functions. On the scalar backend (native_width == 1) the contract is
+// bit-identity, checked with EXPECT_EQ; on wider backends the polynomial
+// kernels are bounded-ulp, checked with a relative tolerance (DESIGN.md §12
+// documents the per-site bounds).
+void expect_equivalent(double got, double want, const char* site) {
+  if (kW == 1) {
+    EXPECT_EQ(got, want) << site;
+  } else {
+    EXPECT_NEAR(got, want, std::abs(want) * 1e-10 + 1e-12) << site;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Width-1 kernel instantiations: bitwise against the canonical scalar
+// functions on EVERY build (the kernels are templates, so this pins the
+// width-1 branches regardless of DIMMER_SIMD).
+
+TEST(SimdKernelsWidth1, BerMatchesScalarBitwise) {
+  for (double sinr = -25.0; sinr <= 25.0; sinr += 0.37) {
+    EXPECT_EQ(simd_kernels::ber_802154_kernel(s1(sinr)).v, ber_802154(sinr))
+        << "sinr=" << sinr;
+  }
+}
+
+TEST(SimdKernelsWidth1, MwToDbmMatchesScalarBitwise) {
+  for (double mw : {1e-12, 3.7e-8, 1.0, 42.0, 1e6}) {
+    EXPECT_EQ(simd_kernels::mw_to_dbm_kernel(s1(mw)).v, mw_to_dbm(mw));
+  }
+  // The non-positive floor.
+  EXPECT_EQ(simd_kernels::mw_to_dbm_kernel(s1(0.0)).v, -300.0);
+  EXPECT_EQ(simd_kernels::mw_to_dbm_kernel(s1(-1.0)).v, -300.0);
+}
+
+TEST(SimdKernelsWidth1, FrameSuccessMatchesScalarBitwise) {
+  for (double clean : {-5.0, 0.0, 3.0, 12.0}) {
+    for (double jam : {-15.0, -5.0, 3.0}) {
+      for (double frac : {0.0, 0.25, 0.5, 1.0, -0.5, 1.5}) {
+        EXPECT_EQ(
+            simd_kernels::frame_success_kernel(s1(clean), s1(jam), s1(frac), 36)
+                .v,
+            frame_success_prob(clean, jam, frac, 36))
+            << "clean=" << clean << " jam=" << jam << " frac=" << frac;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch entry points vs the scalar functions at the native width.
+
+TEST(BatchEntryPoints, DbmToMwMatchesScalar) {
+  // 2*kW + 3 forces a partial tail chunk on every vector backend.
+  const int n = 2 * kW + 3;
+  std::vector<double> dbm(static_cast<std::size_t>(n)), mw(dbm.size());
+  for (int i = 0; i < n; ++i)
+    dbm[static_cast<std::size_t>(i)] = -120.0 + 7.3 * i;
+  dbm_to_mw_batch(dbm.data(), mw.data(), n);
+  for (int i = 0; i < n; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    expect_equivalent(mw[u], dbm_to_mw(dbm[u]), "dbm_to_mw");
+  }
+}
+
+TEST(BatchEntryPoints, BerMatchesScalar) {
+  const int n = 3 * kW + 1;
+  std::vector<double> sinr(static_cast<std::size_t>(n)), ber(sinr.size());
+  for (int i = 0; i < n; ++i)
+    sinr[static_cast<std::size_t>(i)] = -20.0 + 1.7 * i;
+  ber_802154_batch(sinr.data(), ber.data(), n);
+  for (int i = 0; i < n; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    expect_equivalent(ber[u], ber_802154(sinr[u]), "ber");
+  }
+}
+
+TEST(BatchEntryPoints, FrameSuccessMatchesScalar) {
+  const int n = 2 * kW + 1;
+  std::vector<double> clean(static_cast<std::size_t>(n)), jam(clean.size()),
+      frac(clean.size()), p(clean.size());
+  util::Pcg32 rng(99);
+  for (int i = 0; i < n; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    clean[u] = -10.0 + 20.0 * rng.uniform();
+    jam[u] = clean[u] - 12.0 * rng.uniform();
+    frac[u] = rng.uniform();
+  }
+  // Exercise the short-circuit fractions explicitly.
+  frac[0] = 0.0;
+  if (n > 1) frac[1] = 1.0;
+  frame_success_prob_batch(clean.data(), jam.data(), frac.data(), 36, p.data(),
+                           n);
+  for (int i = 0; i < n; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    expect_equivalent(p[u], frame_success_prob(clean[u], jam[u], frac[u], 36),
+                      "frame_success");
+  }
+}
+
+TEST(BatchEntryPoints, FrameSuccessRejectsNonPositiveFrame) {
+  double x = 5.0, y = 0.0, f = 0.5, p = 0.0;
+  EXPECT_THROW(frame_success_prob_batch(&x, &y, &f, 0, &p, 1),
+               util::RequireError);
+  EXPECT_THROW(frame_success_prob_batch(&x, &y, &f, -3, &p, 1),
+               util::RequireError);
+}
+
+// ---------------------------------------------------------------------------
+// Tail determinism: a value's result must be identical whether it lands in a
+// full vector chunk or in the padded tail. Bit-exact on EVERY backend — this
+// is the "position independent" half of the determinism contract.
+
+TEST(BatchEntryPoints, TailAndFullChunkAgreeBitwise) {
+  const int full = 4 * kW;
+  std::vector<double> sinr(static_cast<std::size_t>(full));
+  for (int i = 0; i < full; ++i)
+    sinr[static_cast<std::size_t>(i)] = -18.0 + 1.1 * i;
+  std::vector<double> ber_full(sinr.size());
+  ber_802154_batch(sinr.data(), ber_full.data(), full);
+  // Re-run every strict prefix; shared elements must not change, no matter
+  // how the chunk/tail boundary falls.
+  for (int n = 1; n < full; ++n) {
+    std::vector<double> ber_n(static_cast<std::size_t>(n));
+    ber_802154_batch(sinr.data(), ber_n.data(), n);
+    for (int i = 0; i < n; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      EXPECT_EQ(ber_n[u], ber_full[u]) << "prefix " << n << " index " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// reception_success_batch: the full step-3b chain against a literal
+// transcription of the historical per-listener expressions.
+
+double reference_reception(double strongest, double total, double fade_db,
+                           double interf_mw, double jam_fraction,
+                           double coherence_gain, bool apply_fading,
+                           double noise_mw, double noise_dbm,
+                           int frame_bytes) {
+  double signal_mw = strongest + coherence_gain * (total - strongest);
+  if (apply_fading) signal_mw *= std::pow(10.0, fade_db / 10.0);
+  const double signal_dbm = mw_to_dbm(signal_mw);
+  const double sinr_clean_db = signal_dbm - noise_dbm;
+  const double sinr_jam_db = interf_mw == 0.0
+                                 ? sinr_clean_db
+                                 : signal_dbm - mw_to_dbm(noise_mw + interf_mw);
+  return frame_success_prob(sinr_clean_db, sinr_jam_db, jam_fraction,
+                            frame_bytes);
+}
+
+TEST(ReceptionBatch, MatchesReferenceChain) {
+  const double noise_mw = dbm_to_mw(-87.0);
+  const double noise_dbm = mw_to_dbm(noise_mw);
+  for (bool fading : {false, true}) {
+    SCOPED_TRACE(fading ? "fading on" : "fading off");
+    const int n = 3 * kW + 2;
+    ReceptionBatch b;
+    b.resize(n);
+    b.count = n;
+    util::Pcg32 rng(1234);
+    for (int i = 0; i < n; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      b.strongest_mw[u] = dbm_to_mw(-90.0 + 30.0 * rng.uniform());
+      b.total_mw[u] = b.strongest_mw[u] * (1.0 + rng.uniform());
+      b.fade_db[u] = rng.normal(0.0, 3.0);
+      // Mix zero- and nonzero-interference listeners.
+      b.interf_mw[u] = (i % 3 == 0) ? 0.0 : dbm_to_mw(-95.0);
+      b.jam_fraction[u] = (i % 3 == 0) ? 0.0 : rng.uniform();
+    }
+    reception_success_batch(b, 0.2, fading, noise_mw, noise_dbm, 36);
+    for (int i = 0; i < n; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      const double want = reference_reception(
+          b.strongest_mw[u], b.total_mw[u], b.fade_db[u], b.interf_mw[u],
+          b.jam_fraction[u], 0.2, fading, noise_mw, noise_dbm, 36);
+      expect_equivalent(b.p_ok[u], want, "reception");
+      EXPECT_GE(b.p_ok[u], 0.0);
+      // The polynomial kernels may overshoot 1.0 by a few ulp on vector
+      // backends; the Bernoulli compare tolerates that (p >= 1 always fires).
+      EXPECT_LE(b.p_ok[u], 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(ReceptionBatch, CountPrefixIsPositionIndependent) {
+  const double noise_mw = dbm_to_mw(-87.0);
+  const double noise_dbm = mw_to_dbm(noise_mw);
+  const int n = 2 * kW + 1;
+  ReceptionBatch full;
+  full.resize(n);
+  full.count = n;
+  util::Pcg32 rng(77);
+  for (int i = 0; i < n; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    full.strongest_mw[u] = dbm_to_mw(-80.0 + 2.0 * i);
+    full.total_mw[u] = full.strongest_mw[u] * 1.5;
+    full.fade_db[u] = rng.normal(0.0, 2.0);
+    full.interf_mw[u] = (i % 2 == 0) ? 0.0 : 1e-9;
+    full.jam_fraction[u] = (i % 2 == 0) ? 0.0 : 0.4;
+  }
+  reception_success_batch(full, 0.3, true, noise_mw, noise_dbm, 24);
+  // Each listener alone in a batch of one must reproduce its batched result
+  // bit-for-bit (lanewise kernels + same-kernel tail policy).
+  for (int i = 0; i < n; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    ReceptionBatch one;
+    one.resize(1);
+    one.count = 1;
+    one.strongest_mw[0] = full.strongest_mw[u];
+    one.total_mw[0] = full.total_mw[u];
+    one.fade_db[0] = full.fade_db[u];
+    one.interf_mw[0] = full.interf_mw[u];
+    one.jam_fraction[0] = full.jam_fraction[u];
+    reception_success_batch(one, 0.3, true, noise_mw, noise_dbm, 24);
+    EXPECT_EQ(one.p_ok[0], full.p_ok[u]) << "listener " << i;
+  }
+}
+
+TEST(ReceptionBatch, ResizeSizesAllArrays) {
+  ReceptionBatch b;
+  b.resize(13);
+  EXPECT_EQ(b.strongest_mw.size(), 13u);
+  EXPECT_EQ(b.total_mw.size(), 13u);
+  EXPECT_EQ(b.fade_db.size(), 13u);
+  EXPECT_EQ(b.interf_mw.size(), 13u);
+  EXPECT_EQ(b.jam_fraction.size(), 13u);
+  EXPECT_EQ(b.uniform.size(), 13u);
+  EXPECT_EQ(b.p_ok.size(), 13u);
+}
+
+}  // namespace
+}  // namespace dimmer::phy

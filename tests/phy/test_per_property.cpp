@@ -1,0 +1,101 @@
+// Property tests for frame_success_prob, pinning the two contracts the
+// SIMD frame_success_kernel's branchless form leans on (DESIGN.md §12):
+//
+//  1. Monotonicity: with the jammed SINR no better than the clean SINR,
+//     success probability is non-increasing in jam_fraction.
+//  2. The jam_fraction == 0.0 / == 1.0 short-circuit returns are *bitwise*
+//     equal to the general two-pow expression evaluated at those fractions
+//     (bits * 0.0 == +0.0, std::pow(x, +0.0) == 1.0, p * 1.0 == p).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phy/per.hpp"
+
+namespace dimmer::phy {
+namespace {
+
+TEST(FrameSuccessProperty, MonotoneNonIncreasingInJamFraction) {
+  for (double clean : {-2.0, 0.0, 2.0, 4.0, 8.0, 15.0}) {
+    for (double delta : {0.5, 3.0, 10.0, 25.0}) {
+      const double jammed = clean - delta;  // jamming never helps
+      for (int bytes : {8, 36, 127}) {
+        SCOPED_TRACE("clean=" + std::to_string(clean) +
+                     " jammed=" + std::to_string(jammed) +
+                     " bytes=" + std::to_string(bytes));
+        double prev = 2.0;
+        for (int i = 0; i <= 200; ++i) {
+          const double f = i / 200.0;
+          const double p = frame_success_prob(clean, jammed, f, bytes);
+          EXPECT_LE(p, prev) << "jam_fraction=" << f;
+          EXPECT_GE(p, 0.0);
+          EXPECT_LE(p, 1.0);
+          prev = p;
+        }
+      }
+    }
+  }
+}
+
+TEST(FrameSuccessProperty, EqualSinrsMakeExposureIrrelevant) {
+  // With zero interference power the jammed SINR equals the clean SINR and
+  // the exposure fraction must not matter: (1-b)^(B(1-f)) * (1-b)^(Bf) is
+  // (1-b)^B for every f. Allow 1 ulp for the split-product rounding.
+  for (double sinr : {-4.0, 1.0, 6.0}) {
+    const double base = frame_success_prob(sinr, sinr, 0.0, 36);
+    for (double f : {0.1, 0.5, 0.9}) {
+      const double p = frame_success_prob(sinr, sinr, f, 36);
+      EXPECT_NEAR(p, base, std::abs(base) * 1e-14 + 1e-300) << "f=" << f;
+    }
+  }
+}
+
+// The short-circuits must be invisible: evaluating the general expression at
+// the boundary fractions gives the exact same bits the early returns give.
+double general_form(double sinr_clean_db, double sinr_jammed_db,
+                    double jam_fraction, int frame_bytes) {
+  const double bits = 8.0 * frame_bytes;
+  const double clean_bits = bits * (1.0 - jam_fraction);
+  const double jam_bits = bits * jam_fraction;
+  const double ber_clean = ber_802154(sinr_clean_db);
+  const double ber_jam = ber_802154(sinr_jammed_db);
+  return std::pow(1.0 - ber_clean, clean_bits) *
+         std::pow(1.0 - ber_jam, jam_bits);
+}
+
+TEST(FrameSuccessProperty, ZeroFractionShortCircuitIsBitwiseContinuous) {
+  for (double clean : {-6.0, -1.0, 0.0, 2.5, 7.0, 14.0}) {
+    for (double jammed : {-20.0, -6.0, 2.5}) {
+      for (int bytes : {1, 36, 127}) {
+        EXPECT_EQ(frame_success_prob(clean, jammed, 0.0, bytes),
+                  general_form(clean, jammed, 0.0, bytes))
+            << "clean=" << clean << " jammed=" << jammed
+            << " bytes=" << bytes;
+      }
+    }
+  }
+}
+
+TEST(FrameSuccessProperty, FullFractionShortCircuitIsBitwiseContinuous) {
+  for (double clean : {-6.0, 0.0, 7.0}) {
+    for (double jammed : {-20.0, -6.0, 0.0, 7.0}) {
+      for (int bytes : {1, 36, 127}) {
+        EXPECT_EQ(frame_success_prob(clean, jammed, 1.0, bytes),
+                  general_form(clean, jammed, 1.0, bytes))
+            << "clean=" << clean << " jammed=" << jammed
+            << " bytes=" << bytes;
+      }
+    }
+  }
+}
+
+TEST(FrameSuccessProperty, ClampedFractionsHitTheSameShortCircuits) {
+  // Out-of-range fractions clamp onto the boundaries, bitwise.
+  EXPECT_EQ(frame_success_prob(5.0, -5.0, -3.0, 36),
+            frame_success_prob(5.0, -5.0, 0.0, 36));
+  EXPECT_EQ(frame_success_prob(5.0, -5.0, 2.0, 36),
+            frame_success_prob(5.0, -5.0, 1.0, 36));
+}
+
+}  // namespace
+}  // namespace dimmer::phy

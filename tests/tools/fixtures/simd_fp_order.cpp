@@ -1,0 +1,24 @@
+// Fixture for the simd-fp-order rule: cross-lane SIMD reductions are only
+// findings inside a hot-path region; annotated ones report as suppressed.
+double reduce_add(double v);
+double hadd(double v);
+double horizontal_sum(double v);
+double _mm512_reduce_add_pd(double v);
+
+double outside(double v) {
+  return reduce_add(v) + hadd(v);  // outside any region: clean
+}
+
+double hot(double v) {
+  double acc = 0.0;
+  // dimmer-lint: hot-path begin
+  acc += reduce_add(v);
+  acc += _mm512_reduce_add_pd(v);
+  // dimmer-lint: simd-fp-order-ok — final fold, lane order documented
+  acc += horizontal_sum(v);
+  acc += hadd(v);  // dimmer-lint: simd-fp-order-ok
+  // NOLINTNEXTLINE-DIMMER(simd-fp-order)
+  acc += reduce_add(v);
+  // dimmer-lint: hot-path end
+  return acc;
+}

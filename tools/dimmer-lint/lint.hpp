@@ -47,6 +47,14 @@
 //                    RoundResult) without [[nodiscard]]: a silently dropped
 //                    result is how a bench diverges from what it reports.
 //
+//   simd-fp-order    Cross-lane SIMD reductions (reduce_add / hadd /
+//                    horizontal_* and the matching _mm* intrinsics) inside a
+//                    hot-path region.  The util/simd contract (DESIGN.md
+//                    §12) keeps hot kernels lanewise so results cannot
+//                    depend on backend width; a justified reduction must be
+//                    annotated `// dimmer-lint: simd-fp-order-ok` (same line
+//                    or the line above) and stays visible as suppressed.
+//
 // Suppression:
 //   // NOLINT-DIMMER              suppress every rule on this line
 //   // NOLINT-DIMMER(rule[,rule]) suppress the named rules on this line
