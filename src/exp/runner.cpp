@@ -1,17 +1,34 @@
 #include "exp/runner.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <thread>
 
+#include "util/check.hpp"
 #include "util/wallclock.hpp"
 
 namespace dimmer::exp {
 
 int jobs_from_env() {
   if (const char* s = std::getenv("DIMMER_JOBS")) {
-    int v = std::atoi(s);
-    if (v > 0) return v;
+    // Strict full-string parse. The old std::atoi silently accepted trailing
+    // garbage ("8x" -> 8), read "0x10" as 0 (a silent hardware-concurrency
+    // fallback), and is undefined on out-of-range input — all three now fail
+    // loudly so a mistyped override can't run a sweep at the wrong
+    // parallelism unnoticed.
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(s, &end, 10);
+    // strtol itself skips leading whitespace; " 8" is still a typo here.
+    const bool parsed = end != s && *end == '\0' && errno != ERANGE &&
+                        !std::isspace(static_cast<unsigned char>(*s));
+    DIMMER_REQUIRE(parsed, "DIMMER_JOBS is not a valid integer");
+    DIMMER_REQUIRE(v >= 1 && v <= std::numeric_limits<int>::max(),
+                   "DIMMER_JOBS out of range [1, INT_MAX]");
+    return static_cast<int>(v);
   }
   unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;

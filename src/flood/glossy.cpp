@@ -124,7 +124,16 @@ void GlossyFlood::run_into(phy::NodeId initiator,
 
   // Linear-domain link powers for this flood's TX power; cached across
   // floods by the LinkModel (recomputed only when the power changes).
-  const phy::LinkMatrixView links = links_->prepare(params.tx_power_dbm);
+  // Sparse backends (culled CSR rows, DESIGN.md §13) are probed first: the
+  // step loop then scatters per-transmitter rows instead of sweeping dense
+  // ones and skips listeners no surviving link reaches. With culling
+  // disabled every link survives, both deviations are no-ops, and the
+  // engine is bit-identical to the dense path — FloodResult and RNG
+  // end-state (tests/flood/test_sparse_differential.cpp).
+  const phy::SparseLinkView* sparse =
+      links_->prepare_sparse(params.tx_power_dbm);
+  phy::LinkMatrixView links{};
+  if (sparse == nullptr) links = links_->prepare(params.tx_power_dbm);
 
   // Per-node dynamic state, in caller-owned scratch.
   const auto un = static_cast<std::size_t>(n);
@@ -207,27 +216,46 @@ void GlossyFlood::run_into(phy::NodeId initiator,
     if (any_tx) {
       std::fill(ws.total_mw.begin(), ws.total_mw.end(), 0.0);
       std::fill(ws.strongest_mw.begin(), ws.strongest_mw.end(), 0.0);
-      for (phy::NodeId tx : ws.transmitters) {
-        const double* row = links.row(tx);
+      if (sparse != nullptr) {
+        // Sparse scatter: each transmitter's CSR row holds only surviving
+        // links, listeners ascending. Transmitters are visited in the same
+        // ascending order as the dense sweep, so every listener accumulates
+        // its surviving transmitters with the exact adds/maxes the dense
+        // loop would perform — culled links are the only difference.
         double* total = ws.total_mw.data();
         double* strongest = ws.strongest_mw.data();
-        // Lanewise add/max over the contiguous row, transmitters in the same
-        // ascending order as the historical per-listener loop: exact IEEE
-        // ops with no cross-lane reduction, so this site is bit-identical on
-        // every backend (DESIGN.md §12).
-        using util::simd::vdouble;
-        constexpr int kW = util::simd::native_width;
-        int i = 0;
-        for (; i + kW <= n; i += kW) {
-          const vdouble p = vdouble::load(row + i);
-          (vdouble::load(total + i) + p).store(total + i);
-          util::simd::max(vdouble::load(strongest + i), p)
-              .store(strongest + i);
+        for (phy::NodeId tx : ws.transmitters) {
+          const std::size_t row_end = sparse->row_end(tx);
+          for (std::size_t k = sparse->row_begin(tx); k < row_end; ++k) {
+            const double p_mw = sparse->mw[k];
+            const auto rx = static_cast<std::size_t>(sparse->col[k]);
+            total[rx] += p_mw;
+            strongest[rx] = std::max(strongest[rx], p_mw);
+          }
         }
-        for (; i < n; ++i) {  // scalar tail: the same add/max ops
-          const double p_mw = row[i];
-          total[i] += p_mw;
-          strongest[i] = std::max(strongest[i], p_mw);
+      } else {
+        for (phy::NodeId tx : ws.transmitters) {
+          const double* row = links.row(tx);
+          double* total = ws.total_mw.data();
+          double* strongest = ws.strongest_mw.data();
+          // Lanewise add/max over the contiguous row, transmitters in the
+          // same ascending order as the historical per-listener loop: exact
+          // IEEE ops with no cross-lane reduction, so this site is
+          // bit-identical on every backend (DESIGN.md §12).
+          using util::simd::vdouble;
+          constexpr int kW = util::simd::native_width;
+          int i = 0;
+          for (; i + kW <= n; i += kW) {
+            const vdouble p = vdouble::load(row + i);
+            (vdouble::load(total + i) + p).store(total + i);
+            util::simd::max(vdouble::load(strongest + i), p)
+                .store(strongest + i);
+          }
+          for (; i < n; ++i) {  // scalar tail: the same add/max ops
+            const double p_mw = row[i];
+            total[i] += p_mw;
+            strongest[i] = std::max(strongest[i], p_mw);
+          }
         }
       }
     }
@@ -247,6 +275,16 @@ void GlossyFlood::run_into(phy::NodeId initiator,
       s.radio_on += step_len;  // TX or RX, the radio is on this step
       if (ws.is_tx[static_cast<std::size_t>(i)] || !any_tx) continue;
       if (s.has_packet) continue;  // re-receptions only maintain sync
+      // Sparse backends: a listener no surviving link reaches sees exactly
+      // zero concurrent power, so its success probability is < 1e-86 —
+      // reachable only by a uniform() draw of exactly 0.0 (p = 2^-53).
+      // Skipping it before the interference sample and both RNG draws is
+      // what makes the step cost scale with the flood frontier instead of
+      // N. With culling disabled every stored power is positive, this never
+      // fires, and the RNG stream stays bit-identical to the dense engine.
+      if (sparse != nullptr &&
+          ws.strongest_mw[static_cast<std::size_t>(i)] == 0.0)
+        continue;
 
       const auto r = static_cast<std::size_t>(n_rx);
       ws.rx_batch.strongest_mw[r] =

@@ -21,6 +21,10 @@
 // FloodWorkspace so `run_into` allocates nothing in steady state. Results
 // are bit-identical to the historical direct-Topology engine (asserted by
 // tests/flood/test_differential.cpp against a frozen reference copy).
+// Sparse backends (DESIGN.md §13): when the LinkModel offers a culled CSR
+// view (prepare_sparse), the step loop scatters per-transmitter rows and
+// skips unreachable listeners; with culling disabled this path is proven
+// bit-identical to the dense one (tests/flood/test_sparse_differential.cpp).
 #pragma once
 
 #include <memory>

@@ -188,7 +188,7 @@ void add_dcube_wifi_level(InterferenceField& field, const Topology& topo,
                           int level, std::uint64_t seed) {
   DIMMER_REQUIRE(level == 1 || level == 2, "D-Cube WiFi level is 1 or 2");
   // APs placed across the deployment area. Level 1: three APs at moderate
-  // duty leaving parts of the band free; level 2: five APs, higher duty,
+  // duty leaving parts of the band free; level 2: eight APs, higher duty,
   // covering the whole band including channel 26.
   double minx = 1e9, maxx = -1e9, miny = 1e9, maxy = -1e9;
   for (int n = 0; n < topo.size(); ++n) {

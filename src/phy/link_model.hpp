@@ -17,6 +17,7 @@
 // time-varying channels) only need to produce a LinkMatrixView.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "phy/topology.hpp"
@@ -36,6 +37,31 @@ struct LinkMatrixView {
   }
 };
 
+/// Non-owning CSR view of a *culled* link-power matrix: per transmitter, only
+/// the links whose rx power survived the backend's culling floor, as parallel
+/// (col, mw) arrays. Listener ids are strictly ascending within a row, and
+/// every stored power is positive (dbm_to_mw never produces 0 for a finite
+/// dBm value) — the flood engine relies on both to keep its per-listener
+/// accumulation order identical to the dense sweep and to use "accumulated
+/// power == 0.0" as "no surviving transmitter reaches this listener".
+/// Same validity rule as LinkMatrixView: good until the next prepare call.
+struct SparseLinkView {
+  const std::size_t* row_ptr = nullptr;  ///< n+1 offsets into col/mw
+  const NodeId* col = nullptr;           ///< listener ids, ascending per row
+  const double* mw = nullptr;            ///< received powers, parallel to col
+  int n = 0;
+
+  std::size_t nnz() const {
+    return row_ptr == nullptr ? 0 : row_ptr[static_cast<std::size_t>(n)];
+  }
+  std::size_t row_begin(NodeId tx) const {
+    return row_ptr[static_cast<std::size_t>(tx)];
+  }
+  std::size_t row_end(NodeId tx) const {
+    return row_ptr[static_cast<std::size_t>(tx) + 1];
+  }
+};
+
 /// Interface the flood engine consumes instead of poking Topology directly.
 ///
 /// Implementations are stateful caches: `prepare` may recompute internal
@@ -52,6 +78,16 @@ class LinkModel {
   /// Returns the mW link matrix for `tx_power_dbm`. Implementations cache:
   /// repeated calls with the same power are O(1).
   virtual LinkMatrixView prepare(double tx_power_dbm) = 0;
+
+  /// Optional sparse path: backends that cull sub-floor links return a CSR
+  /// view for `tx_power_dbm` (same caching contract as prepare); dense-only
+  /// backends return nullptr and callers fall back to the matrix view. The
+  /// flood engine probes this first, so a sparse backend never has to
+  /// materialize the O(N^2) matrix on the simulation path.
+  virtual const SparseLinkView* prepare_sparse(double tx_power_dbm) {
+    (void)tx_power_dbm;
+    return nullptr;
+  }
 };
 
 /// The standard backend: caches one matrix keyed by the last-prepared TX

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 #include "phy/per.hpp"
 #include "util/check.hpp"
@@ -104,27 +103,56 @@ double Topology::sinr_threshold_db(int frame_bytes, double target_per) {
   return hi;
 }
 
-std::vector<int> Topology::hop_counts(NodeId root, int frame_bytes,
-                                      double tx_power_dbm) const {
-  DIMMER_REQUIRE(root >= 0 && root < size(), "node id out of range");
-  double need_dbm =
+NeighborCsr Topology::good_neighbors(int frame_bytes,
+                                     double tx_power_dbm) const {
+  const int n = size();
+  const double need_dbm =
       radio_.noise_floor_dbm + sinr_threshold_db(frame_bytes, 0.1);
+  NeighborCsr adj;
+  adj.n = n;
+  adj.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  adj.col.reserve(static_cast<std::size_t>(n) * 8);  // typical mesh degree
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == u) continue;
+      if (rx_power_dbm(u, v, tx_power_dbm) >= need_dbm) adj.col.push_back(v);
+    }
+    adj.row_ptr[static_cast<std::size_t>(u) + 1] = adj.col.size();
+  }
+  return adj;
+}
+
+std::vector<int> Topology::hop_counts_from(NodeId root,
+                                           const NeighborCsr& adj) const {
+  DIMMER_REQUIRE(root >= 0 && root < size(), "node id out of range");
+  DIMMER_REQUIRE(adj.n == size(), "adjacency built for another topology size");
   std::vector<int> hops(static_cast<std::size_t>(size()), -1);
-  std::queue<NodeId> q;
+  // BFS over the CSR rows. The frontier is a plain vector consumed front to
+  // back (never reallocated past n); neighbors are stored ascending per row,
+  // so discovery order — and therefore every hop count — matches the
+  // historical dense BFS that scanned all N nodes per dequeue.
+  std::vector<NodeId> frontier;
+  frontier.reserve(static_cast<std::size_t>(size()));
   hops[static_cast<std::size_t>(root)] = 0;
-  q.push(root);
-  while (!q.empty()) {
-    NodeId u = q.front();
-    q.pop();
-    for (NodeId v = 0; v < size(); ++v) {
-      if (v == u || hops[static_cast<std::size_t>(v)] >= 0) continue;
-      if (rx_power_dbm(u, v, tx_power_dbm) >= need_dbm) {
-        hops[static_cast<std::size_t>(v)] = hops[static_cast<std::size_t>(u)] + 1;
-        q.push(v);
-      }
+  frontier.push_back(root);
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const NodeId u = frontier[head];
+    const std::size_t end = adj.row_ptr[static_cast<std::size_t>(u) + 1];
+    for (std::size_t k = adj.row_ptr[static_cast<std::size_t>(u)]; k < end;
+         ++k) {
+      const NodeId v = adj.col[k];
+      if (hops[static_cast<std::size_t>(v)] >= 0) continue;
+      hops[static_cast<std::size_t>(v)] = hops[static_cast<std::size_t>(u)] + 1;
+      frontier.push_back(v);
     }
   }
   return hops;
+}
+
+std::vector<int> Topology::hop_counts(NodeId root, int frame_bytes,
+                                      double tx_power_dbm) const {
+  DIMMER_REQUIRE(root >= 0 && root < size(), "node id out of range");
+  return hop_counts_from(root, good_neighbors(frame_bytes, tx_power_dbm));
 }
 
 // ---- Factories -----------------------------------------------------------
@@ -224,6 +252,29 @@ Topology make_dcube48_topology(std::uint64_t shadow_seed) {
       double y = 3.0 + r * 5.0 + rng.uniform(-1.8, 1.8);
       pos.push_back({x, y});
     }
+  }
+  return Topology(std::move(pos), office_path_loss(), RadioConstants{},
+                  shadow_seed);
+}
+
+Topology make_campus_topology(int n, std::uint64_t shadow_seed) {
+  DIMMER_REQUIRE(n >= 2, "campus topology needs >= 2 nodes");
+  // Near-square layout: cols = ceil(sqrt(n)), last row possibly partial.
+  // Pitch 9 m with ±2.5 m jitter keeps adjacent nodes between 4 m and
+  // ~14 m apart — inside the office model's solid-link range — so the grid
+  // is connected without the placement-retry loop make_random_topology
+  // needs (asserted for representative sizes in tests/phy/test_topology).
+  const int cols =
+      std::max(1, static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n)))));
+  std::vector<Vec2> pos;
+  pos.reserve(static_cast<std::size_t>(n));
+  util::Pcg32 rng(util::hash_u64(0xCA3D05ULL, shadow_seed));
+  for (int i = 0; i < n; ++i) {
+    const int r = i / cols;
+    const int c = i % cols;
+    const double x = 4.0 + 9.0 * c + rng.uniform(-2.5, 2.5);
+    const double y = 4.0 + 9.0 * r + rng.uniform(-2.5, 2.5);
+    pos.push_back({x, y});
   }
   return Topology(std::move(pos), office_path_loss(), RadioConstants{},
                   shadow_seed);

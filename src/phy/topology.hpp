@@ -5,6 +5,7 @@
 // in-network nodes and external points (jammers, WiFi APs).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -14,6 +15,21 @@
 namespace dimmer::phy {
 
 using NodeId = int;
+
+/// CSR adjacency over "good" links (see Topology::good_neighbors): per node,
+/// the neighbors it can reach with clean-SNR PER below the builder's target.
+/// Neighbor ids are strictly ascending within a row and never include the
+/// node itself. Symmetric by construction (links are reciprocal).
+struct NeighborCsr {
+  std::vector<std::size_t> row_ptr;  ///< n+1 offsets into col
+  std::vector<NodeId> col;           ///< neighbor ids
+  int n = 0;
+
+  std::size_t degree(NodeId u) const {
+    return row_ptr[static_cast<std::size_t>(u) + 1] -
+           row_ptr[static_cast<std::size_t>(u)];
+  }
+};
 
 class Topology {
  public:
@@ -42,10 +58,24 @@ class Topology {
   /// identifies the external transmitter so its shadowing is stable.
   double gain_from_point_db(Vec2 p, NodeId rx, std::uint64_t shadow_tag) const;
 
+  /// CSR neighbor lists over "good" links (clean-SNR PER below 10% for
+  /// `frame_bytes` at `tx_power_dbm`). Built in one O(N^2) pass over the
+  /// gain matrix; reuse the result across hop_counts_from calls when
+  /// querying many roots of the same topology.
+  NeighborCsr good_neighbors(int frame_bytes = 36,
+                             double tx_power_dbm = 0.0) const;
+
   /// BFS hop counts from `root` over "good" links (clean-SNR PER below 10%
-  /// for `frame_bytes`). Unreachable nodes get -1.
+  /// for `frame_bytes`). Unreachable nodes get -1. One-shot convenience
+  /// over good_neighbors + hop_counts_from.
   std::vector<int> hop_counts(NodeId root, int frame_bytes = 36,
                               double tx_power_dbm = 0.0) const;
+
+  /// BFS hop counts over a prebuilt adjacency: O(N + E) per root instead of
+  /// the O(N) scan per dequeue the dense BFS paid — the difference between
+  /// usable and unusable topology factories past a few hundred nodes.
+  /// Identical output to hop_counts for the same (frame_bytes, power).
+  std::vector<int> hop_counts_from(NodeId root, const NeighborCsr& adj) const;
 
   /// Smallest SINR (dB) with per_802154(sinr, frame_bytes) <= target_per.
   /// Memoized per thread: the 60-iteration bisection runs once per distinct
@@ -84,5 +114,14 @@ Topology make_office18_topology(std::uint64_t shadow_seed = 18);
 /// A 48-node D-Cube-like deployment spanning several rooms/floors;
 /// node 0 is the coordinator (paper: device ID 202).
 Topology make_dcube48_topology(std::uint64_t shadow_seed = 48);
+
+/// Large deterministic campus: `n` nodes on a near-square jittered grid
+/// (the dcube48 recipe generalized), 9 m pitch with ±2.5 m seeded jitter so
+/// adjacent nodes sit well inside the office model's ~15 m solid-link range.
+/// Connected by construction — no placement retries — which is what makes
+/// 1000+-node topologies build in one Topology construction instead of
+/// make_random_topology's rejection loop. Node 0 is the coordinator in the
+/// first grid corner; the flood diameter grows as sqrt(n).
+Topology make_campus_topology(int n, std::uint64_t shadow_seed = 1);
 
 }  // namespace dimmer::phy

@@ -83,11 +83,25 @@ class Pcg32 {
     return static_cast<std::uint32_t>(m >> 32);
   }
 
-  /// Uniform integer in [lo,hi] inclusive.
+  /// Uniform integer in [lo,hi] inclusive. The span arithmetic is 64-bit:
+  /// `hi - lo + 1` evaluated in int is signed-overflow UB once the range
+  /// spans more than INT_MAX values (e.g. uniform_int(INT_MIN, INT_MAX)).
+  /// Every in-range call draws identically to the historical expression;
+  /// the one span uniform_below can't represent — the full 2^32 range —
+  /// consumes exactly one next_u32, the same as any non-rejected Lemire
+  /// draw, so stream positions stay aligned.
   int uniform_int(int lo, int hi) {
     DIMMER_REQUIRE(lo <= hi, "uniform_int: lo > hi");
-    return lo + static_cast<int>(
-                    uniform_below(static_cast<std::uint32_t>(hi - lo + 1)));
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(hi) -
+                                   static_cast<std::int64_t>(lo)) +
+        1;
+    const std::uint64_t offset =
+        span > 0xffffffffULL
+            ? next_u32()  // full 32-bit span: every u32 is already uniform
+            : uniform_below(static_cast<std::uint32_t>(span));
+    return static_cast<int>(static_cast<std::int64_t>(lo) +
+                            static_cast<std::int64_t>(offset));
   }
 
   bool bernoulli(double p) { return uniform() < p; }

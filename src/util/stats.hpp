@@ -123,6 +123,12 @@ class WindowMean {
 inline double percentile(std::vector<double> v, double p) {
   DIMMER_REQUIRE(!v.empty(), "percentile of empty sample");
   DIMMER_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]");
+  // NaN comparisons violate nth_element/min_element's strict-weak-ordering
+  // precondition (UB that in practice selects garbage order statistics
+  // silently), and infinities poison the interpolation below. Reject all
+  // non-finite samples loudly instead.
+  for (double x : v)
+    DIMMER_REQUIRE(std::isfinite(x), "percentile sample must be finite");
   if (v.size() == 1) return v[0];
   double idx = p / 100.0 * static_cast<double>(v.size() - 1);
   auto lo = static_cast<std::size_t>(idx);

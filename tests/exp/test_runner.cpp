@@ -6,6 +6,7 @@
 
 #include "exp/json.hpp"
 #include "exp/runner.hpp"
+#include "util/check.hpp"
 
 namespace dimmer::exp {
 namespace {
@@ -116,10 +117,26 @@ TEST(Runner, CapturesTrialExceptions) {
 TEST(Runner, JobsFromEnvParsesOverride) {
   ASSERT_EQ(setenv("DIMMER_JOBS", "3", 1), 0);
   EXPECT_EQ(jobs_from_env(), 3);
-  ASSERT_EQ(setenv("DIMMER_JOBS", "garbage", 1), 0);
-  EXPECT_GE(jobs_from_env(), 1);  // falls back to hardware_concurrency
+  ASSERT_EQ(setenv("DIMMER_JOBS", "64", 1), 0);
+  EXPECT_EQ(jobs_from_env(), 64);
   ASSERT_EQ(unsetenv("DIMMER_JOBS"), 0);
-  EXPECT_GE(jobs_from_env(), 1);
+  EXPECT_GE(jobs_from_env(), 1);  // hardware_concurrency fallback
+}
+
+TEST(Runner, JobsFromEnvRejectsMalformedValues) {
+  // Regression: the old std::atoi parse silently accepted trailing garbage
+  // ("8x" ran 8 jobs), read hex-looking values as their decimal prefix
+  // ("0x10" -> 0 -> silent hardware fallback), and was UB on out-of-range
+  // input. Every malformed override must now fail loudly instead of running
+  // a sweep at an unintended parallelism.
+  const char* bad[] = {"8x",      "0x10", "garbage", "",   " 8",
+                       "3.5",     "1e2",  "0",       "-2", "99999999999999999999"};
+  for (const char* v : bad) {
+    ASSERT_EQ(setenv("DIMMER_JOBS", v, 1), 0);
+    EXPECT_THROW((void)jobs_from_env(), util::RequireError)
+        << "DIMMER_JOBS=\"" << v << "\" must be rejected";
+  }
+  ASSERT_EQ(unsetenv("DIMMER_JOBS"), 0);
 }
 
 TEST(Aggregation, MetricStatsGroupsByScenario) {

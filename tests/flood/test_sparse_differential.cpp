@@ -1,0 +1,226 @@
+// Sparse-vs-dense differential suite for the CSR link backend (DESIGN.md
+// §13): a GlossyFlood driven by SparseLinkModel with culling *disabled* must
+// be bit-identical — every FloodResult field AND the RNG end-state — to the
+// dense CachedLinkModel engine on every canonical topology, clean or jammed.
+// With culling *enabled*, results may legitimately differ in individual
+// receptions, but the aggregate delivery ratio stays within a tight band of
+// the dense engine's (the culled power is provably below the noise floor;
+// tests/phy/test_sparse_link_model.cpp carries the bound).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/scenarios.hpp"
+#include "flood/glossy.hpp"
+#include "flood/workspace.hpp"
+#include "phy/sparse_link_model.hpp"
+#include "phy/topology.hpp"
+#include "util/rng.hpp"
+
+namespace dimmer::flood {
+namespace {
+
+void expect_identical(const FloodResult& a, const FloodResult& b) {
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  EXPECT_EQ(a.initiator, b.initiator);
+  EXPECT_EQ(a.steps_simulated, b.steps_simulated);
+  ASSERT_EQ(a.participated.size(), b.participated.size());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    SCOPED_TRACE("node " + std::to_string(i));
+    EXPECT_EQ(a.participated[i], b.participated[i]);
+    EXPECT_EQ(a.nodes[i].received, b.nodes[i].received);
+    EXPECT_EQ(a.nodes[i].first_rx_step, b.nodes[i].first_rx_step);
+    EXPECT_EQ(a.nodes[i].transmissions, b.nodes[i].transmissions);
+    EXPECT_EQ(a.nodes[i].radio_on_us, b.nodes[i].radio_on_us);
+  }
+}
+
+void expect_same_rng_state(util::Pcg32& a, util::Pcg32& b) {
+  // Same stream position, and the same Marsaglia spare state (a cached
+  // spare would make the next normal() differ with aligned raw streams).
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(a.normal(), b.normal());
+}
+
+struct Case {
+  phy::Topology topo;
+  phy::InterferenceField field;
+};
+
+phy::Topology topo_for(const std::string& name) {
+  if (name == "line") return phy::make_line_topology(8, 12.0);
+  if (name == "grid") return phy::make_grid_topology(4, 4, 10.0);
+  if (name == "office18") return phy::make_office18_topology();
+  if (name == "campus") return phy::make_campus_topology(60);
+  return phy::make_dcube48_topology();
+}
+
+Case make_case(const std::string& name, double jam_duty) {
+  Case c{topo_for(name), phy::InterferenceField{}};
+  if (jam_duty > 0.0 && (name == "office18" || name == "dcube48")) {
+    core::add_static_jamming(c.field, c.topo, jam_duty);
+  } else if (jam_duty > 0.0) {
+    // Line/grid/campus have no office jammer positions; use ambient office
+    // noise as the interference source instead.
+    core::add_office_ambient(c.field, c.topo);
+  }
+  return c;
+}
+
+/// Runs the dense (CachedLinkModel) engine and the sparse engine with
+/// culling disabled from identical RNG states and asserts bit-identity.
+void run_sparse_differential(const std::string& topo_name, double jam_duty,
+                             const std::vector<NodeFloodConfig>& configs,
+                             phy::NodeId initiator, const FloodParams& params,
+                             std::uint64_t seed) {
+  Case c = make_case(topo_name, jam_duty);
+  ASSERT_EQ(static_cast<int>(configs.size()), c.topo.size());
+
+  GlossyFlood dense_engine(c.topo, c.field);
+  util::Pcg32 rng_dense(seed);
+  FloodResult want = dense_engine.run(initiator, configs, params, rng_dense);
+
+  phy::SparseLinkModel links(c.topo, phy::SparseLinkModel::Config::no_culling());
+  GlossyFlood sparse_engine(links, c.field);
+  util::Pcg32 rng_sparse(seed);
+  FloodResult got = sparse_engine.run(initiator, configs, params, rng_sparse);
+
+  expect_identical(want, got);
+  expect_same_rng_state(rng_dense, rng_sparse);
+}
+
+std::vector<NodeFloodConfig> uniform_configs(int n, int n_tx) {
+  return std::vector<NodeFloodConfig>(static_cast<std::size_t>(n),
+                                      NodeFloodConfig{n_tx, true});
+}
+
+TEST(SparseDifferential, CleanTopologies) {
+  for (const char* name : {"line", "grid", "office18", "dcube48", "campus"}) {
+    SCOPED_TRACE(name);
+    Case c = make_case(name, 0.0);
+    const int n = c.topo.size();
+    for (std::uint64_t seed : {1ULL, 77ULL, 4242ULL}) {
+      run_sparse_differential(name, 0.0, uniform_configs(n, 3), 0,
+                              FloodParams{}, seed);
+    }
+  }
+}
+
+TEST(SparseDifferential, JammedTopologies) {
+  for (const char* name : {"line", "grid", "office18", "dcube48"}) {
+    SCOPED_TRACE(name);
+    Case c = make_case(name, 0.3);
+    const int n = c.topo.size();
+    for (std::uint64_t seed : {9ULL, 1234ULL}) {
+      FloodParams p;
+      p.slot_start_us = sim::seconds(5);  // land inside jammer bursts
+      run_sparse_differential(name, 0.3, uniform_configs(n, 3), n / 2, p,
+                              seed);
+    }
+  }
+}
+
+TEST(SparseDifferential, MixedBudgetsAndPassiveReceivers) {
+  Case probe = make_case("dcube48", 0.0);
+  const int n = probe.topo.size();
+  auto cfgs = uniform_configs(n, 3);
+  for (int i = 0; i < n; ++i) {
+    cfgs[static_cast<std::size_t>(i)].n_tx = i % 4;  // includes n_tx = 0
+  }
+  for (int i = 0; i < n; i += 7)
+    cfgs[static_cast<std::size_t>(i)].participates = false;
+  cfgs[3].participates = true;  // keep the initiator participating
+  for (std::uint64_t seed : {3ULL, 31ULL, 314ULL}) {
+    run_sparse_differential("dcube48", 0.0, cfgs, 3, FloodParams{}, seed);
+    run_sparse_differential("dcube48", 0.3, cfgs, 3, FloodParams{}, seed);
+  }
+}
+
+TEST(SparseDifferential, AlternatingTxPowerRebindsCsr) {
+  // Back-to-back floods at different TX powers through ONE sparse engine:
+  // the CSR rebinds per power exactly like the dense cache does.
+  Case c = make_case("office18", 0.3);
+  const int n = c.topo.size();
+  auto cfgs = uniform_configs(n, 3);
+
+  GlossyFlood dense_engine(c.topo, c.field);
+  phy::SparseLinkModel links(c.topo, phy::SparseLinkModel::Config::no_culling());
+  GlossyFlood sparse_engine(links, c.field);
+  util::Pcg32 rng_dense(55);
+  util::Pcg32 rng_sparse(55);
+  for (double power : {0.0, -7.0, 0.0, 3.0, -7.0}) {
+    SCOPED_TRACE("tx_power_dbm " + std::to_string(power));
+    FloodParams p;
+    p.tx_power_dbm = power;
+    FloodResult want = dense_engine.run(0, cfgs, p, rng_dense);
+    FloodResult got = sparse_engine.run(0, cfgs, p, rng_sparse);
+    expect_identical(want, got);
+  }
+  expect_same_rng_state(rng_dense, rng_sparse);
+}
+
+TEST(SparseDifferential, RunIntoReusedBuffersMatchDense) {
+  // Reused workspace/result buffers through the sparse scatter path must be
+  // as invisible as through the dense sweep.
+  Case c = make_case("dcube48", 0.3);
+  const int n = c.topo.size();
+  auto cfgs = uniform_configs(n, 3);
+  cfgs[4].n_tx = 0;
+  cfgs[9].participates = false;
+
+  GlossyFlood dense_engine(c.topo, c.field);
+  phy::SparseLinkModel links(c.topo, phy::SparseLinkModel::Config::no_culling());
+  GlossyFlood sparse_engine(links, c.field);
+  FloodWorkspace ws;
+  FloodResult reused;
+  util::Pcg32 rng_dense(88);
+  util::Pcg32 rng_sparse(88);
+  for (int round = 0; round < 6; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    FloodParams p;
+    p.slot_start_us = round * sim::ms(40);
+    phy::NodeId init = static_cast<phy::NodeId>((round * 3) % n);
+    if (!cfgs[static_cast<std::size_t>(init)].participates) init += 1;
+    FloodResult want = dense_engine.run(init, cfgs, p, rng_dense);
+    sparse_engine.run_into(init, cfgs, p, rng_sparse, ws, reused);
+    expect_identical(want, reused);
+  }
+  expect_same_rng_state(rng_dense, rng_sparse);
+}
+
+TEST(SparseDifferential, CullingPreservesDeliveryRatioOnDcube48) {
+  // With real culling the per-reception outcomes may differ (interference
+  // sums lose sub-floor terms and RNG streams drift after the first skipped
+  // listener), but the culled power is below the noise floor, so the
+  // *aggregate* delivery ratio must stay put.
+  Case c = make_case("dcube48", 0.3);
+  const int n = c.topo.size();
+  auto cfgs = uniform_configs(n, 2);
+
+  GlossyFlood dense_engine(c.topo, c.field);
+  phy::SparseLinkModel links(
+      c.topo, phy::SparseLinkModel::Config::bounded_influence(n));
+  GlossyFlood sparse_engine(links, c.field);
+
+  const int kFloods = 200;
+  util::Pcg32 rng_dense(2026);
+  util::Pcg32 rng_sparse(2026);
+  FloodWorkspace ws_dense, ws_sparse;
+  FloodResult r_dense, r_sparse;
+  double sum_dense = 0.0, sum_sparse = 0.0;
+  for (int k = 0; k < kFloods; ++k) {
+    FloodParams p;
+    p.slot_start_us = k * sim::ms(25);
+    const phy::NodeId init = static_cast<phy::NodeId>(k % n);
+    dense_engine.run_into(init, cfgs, p, rng_dense, ws_dense, r_dense);
+    sparse_engine.run_into(init, cfgs, p, rng_sparse, ws_sparse, r_sparse);
+    sum_dense += r_dense.delivery_ratio();
+    sum_sparse += r_sparse.delivery_ratio();
+  }
+  EXPECT_NEAR(sum_sparse / kFloods, sum_dense / kFloods, 0.05);
+  EXPECT_GT(sum_sparse / kFloods, 0.5);  // the sparse floods actually flood
+}
+
+}  // namespace
+}  // namespace dimmer::flood

@@ -17,6 +17,7 @@
 #include "flood/glossy.hpp"
 #include "flood/workspace.hpp"
 #include "lwb/round.hpp"
+#include "phy/sparse_link_model.hpp"
 #include "phy/topology.hpp"
 #include "util/rng.hpp"
 
@@ -73,6 +74,40 @@ TEST(FloodWorkspaceAlloc, RunIntoIsAllocationFreeAfterWarmup) {
       << "steady-state floods must not allocate (got "
       << (after - before) << " allocations over 50 floods)";
   EXPECT_TRUE(result.nodes.size() == 18u);
+}
+
+TEST(FloodWorkspaceAlloc, SparseEngineRunIntoIsAllocationFreeAfterWarmup) {
+  // The sparse scatter path has its own steady state: the warm-up flood
+  // builds the CSR (and sizes the workspace); after that, repeated floods at
+  // the same TX power must not touch the heap — including the zero-power
+  // listener skip, which must not shrink or regrow any buffer.
+  phy::Topology topo = phy::make_campus_topology(96);
+  phy::InterferenceField field;
+  core::add_office_ambient(field, topo);
+  phy::SparseLinkModel links(topo);  // default 20 dB culling margin
+  GlossyFlood engine(links, field);
+  std::vector<NodeFloodConfig> cfgs(96, NodeFloodConfig{2, true});
+  cfgs[7].n_tx = 0;
+
+  FloodWorkspace ws;
+  FloodResult result;
+  util::Pcg32 rng(13);
+
+  FloodParams params;
+  engine.run_into(0, cfgs, params, rng, ws, result);
+  ASSERT_EQ(links.rebuilds(), 1);
+
+  const long before = g_allocs.load(std::memory_order_relaxed);
+  for (int k = 0; k < 50; ++k) {
+    params.slot_start_us = k * sim::ms(25);
+    engine.run_into(k % 96, cfgs, params, rng, ws, result);
+  }
+  const long after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << "steady-state sparse floods must not allocate (got "
+      << (after - before) << " allocations over 50 floods)";
+  EXPECT_EQ(links.rebuilds(), 1);  // one CSR build serves every flood
+  EXPECT_TRUE(result.nodes.size() == 96u);
 }
 
 TEST(FloodWorkspaceAlloc, RoundExecutorSteadyStateIsAllocationFree) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
+#include <vector>
 
 #include "phy/topology.hpp"
 #include "util/check.hpp"
@@ -168,6 +170,132 @@ TEST_P(TopologyDistanceProperty, GainDecaysWithDistanceOnAverage) {
 
 INSTANTIATE_TEST_SUITE_P(Factories, TopologyDistanceProperty,
                          ::testing::Values(0, 1, 2));
+
+// ---- CSR adjacency + campus factory ------------------------------------
+
+// The historical dense BFS, kept verbatim as the reference: scan all N
+// candidate neighbors per dequeued node against the clean-SNR link
+// predicate. hop_counts_from over good_neighbors must reproduce it exactly.
+std::vector<int> dense_reference_hops(const Topology& t, NodeId root,
+                                      int frame_bytes, double tx_power_dbm) {
+  const double need_dbm =
+      t.radio().noise_floor_dbm +
+      Topology::sinr_threshold_db(frame_bytes, 0.1);
+  std::vector<int> hops(static_cast<std::size_t>(t.size()), -1);
+  std::vector<NodeId> queue;
+  hops[static_cast<std::size_t>(root)] = 0;
+  queue.push_back(root);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    NodeId u = queue[head];
+    for (NodeId v = 0; v < t.size(); ++v) {
+      if (v == u || hops[static_cast<std::size_t>(v)] >= 0) continue;
+      if (t.rx_power_dbm(u, v, tx_power_dbm) < need_dbm) continue;
+      hops[static_cast<std::size_t>(v)] = hops[static_cast<std::size_t>(u)] + 1;
+      queue.push_back(v);
+    }
+  }
+  return hops;
+}
+
+TEST(NeighborCsrTest, HopCountsMatchDenseReferenceBfs) {
+  const Topology topos[] = {make_line_topology(8, 12.0),
+                            make_grid_topology(4, 4, 10.0),
+                            make_office18_topology(), make_dcube48_topology(),
+                            make_campus_topology(90)};
+  for (const Topology& t : topos) {
+    SCOPED_TRACE("n=" + std::to_string(t.size()));
+    for (double power : {0.0, -7.0}) {
+      NeighborCsr adj = t.good_neighbors(36, power);
+      for (NodeId root : {0, t.size() / 2, t.size() - 1}) {
+        EXPECT_EQ(t.hop_counts_from(root, adj),
+                  dense_reference_hops(t, root, 36, power))
+            << "root " << root << " power " << power;
+        // The one-shot convenience must agree with the prebuilt-CSR path.
+        EXPECT_EQ(t.hop_counts(root, 36, power),
+                  t.hop_counts_from(root, adj));
+      }
+    }
+  }
+}
+
+TEST(NeighborCsrTest, RowsAreAscendingSymmetricAndSelfFree) {
+  Topology t = make_dcube48_topology();
+  NeighborCsr adj = t.good_neighbors();
+  ASSERT_EQ(adj.n, t.size());
+  ASSERT_EQ(adj.row_ptr.size(), static_cast<std::size_t>(t.size()) + 1);
+  EXPECT_EQ(adj.row_ptr.back(), adj.col.size());
+  auto has_edge = [&](NodeId u, NodeId v) {
+    for (std::size_t k = adj.row_ptr[static_cast<std::size_t>(u)];
+         k < adj.row_ptr[static_cast<std::size_t>(u) + 1]; ++k)
+      if (adj.col[k] == v) return true;
+    return false;
+  };
+  for (NodeId u = 0; u < adj.n; ++u) {
+    NodeId prev = -1;
+    for (std::size_t k = adj.row_ptr[static_cast<std::size_t>(u)];
+         k < adj.row_ptr[static_cast<std::size_t>(u) + 1]; ++k) {
+      NodeId v = adj.col[k];
+      EXPECT_NE(v, u);       // no self loops
+      EXPECT_GT(v, prev);    // strictly ascending within the row
+      EXPECT_TRUE(has_edge(v, u)) << u << "<->" << v;  // reciprocal links
+      prev = v;
+    }
+    EXPECT_EQ(adj.degree(u),
+              adj.row_ptr[static_cast<std::size_t>(u) + 1] -
+                  adj.row_ptr[static_cast<std::size_t>(u)]);
+  }
+}
+
+TEST(NeighborCsrTest, HopCountsFromRejectsMismatchedAdjacency) {
+  Topology a = make_line_topology(8, 12.0);
+  Topology b = make_line_topology(9, 12.0);
+  NeighborCsr adj = b.good_neighbors();
+  EXPECT_THROW((void)a.hop_counts_from(0, adj), util::RequireError);
+  EXPECT_THROW((void)a.hop_counts_from(-1, a.good_neighbors()),
+               util::RequireError);
+}
+
+TEST(CampusTopology, IsDeterministicPerSeed) {
+  Topology a = make_campus_topology(200, 5);
+  Topology b = make_campus_topology(200, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (NodeId i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.position(i).x, b.position(i).x);
+    EXPECT_DOUBLE_EQ(a.position(i).y, b.position(i).y);
+    EXPECT_DOUBLE_EQ(a.gain_db(0, i), b.gain_db(0, i));
+  }
+  Topology c = make_campus_topology(200, 6);
+  int same = 0;
+  for (NodeId i = 0; i < a.size(); ++i)
+    if (a.position(i).x == c.position(i).x) ++same;
+  EXPECT_LT(same, a.size() / 10);  // different seed, different jitter
+}
+
+TEST(CampusTopology, ExactSizeIncludingNonSquareCounts) {
+  for (int n : {2, 48, 200, 257, 1024}) {
+    EXPECT_EQ(make_campus_topology(n).size(), n) << "n=" << n;
+  }
+  EXPECT_THROW((void)make_campus_topology(1), util::RequireError);
+  EXPECT_THROW((void)make_campus_topology(0), util::RequireError);
+}
+
+TEST(CampusTopology, IsConnectedByConstruction) {
+  // The factory's whole point: no placement-retry loop, yet every node is
+  // reachable from the coordinator corner. Checked across sizes and seeds.
+  for (int n : {48, 200, 513}) {
+    for (std::uint64_t seed : {1ULL, 9ULL}) {
+      Topology t = make_campus_topology(n, seed);
+      auto hops = t.hop_counts(0);
+      EXPECT_TRUE(std::all_of(hops.begin(), hops.end(),
+                              [](int h) { return h >= 0; }))
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+  // Diameter grows with scale (sqrt(n) grid, multi-hop floods at 200+).
+  Topology big = make_campus_topology(200);
+  auto hops = big.hop_counts(0);
+  EXPECT_GE(*std::max_element(hops.begin(), hops.end()), 3);
+}
 
 }  // namespace
 }  // namespace dimmer::phy

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 #include "util/rng.hpp"
@@ -75,6 +76,55 @@ TEST(Pcg32, UniformIntInclusiveBounds) {
 TEST(Pcg32, UniformIntReversedBoundsThrows) {
   Pcg32 rng(5);
   EXPECT_THROW(rng.uniform_int(3, 2), RequireError);
+}
+
+TEST(Pcg32, UniformIntFullIntRangeIsDefined) {
+  // Regression: `hi - lo + 1` evaluated in int was signed-overflow UB for
+  // any span wider than INT_MAX; under UBSan this test aborted on the old
+  // code. The widened span must cover the whole domain, both signs
+  // included (a truncated span would pin one sign).
+  Pcg32 rng(101);
+  bool neg = false, pos = false;
+  for (int i = 0; i < 200; ++i) {
+    int v = rng.uniform_int(std::numeric_limits<int>::min(),
+                            std::numeric_limits<int>::max());
+    neg = neg || v < 0;
+    pos = pos || v > 0;
+  }
+  EXPECT_TRUE(neg);
+  EXPECT_TRUE(pos);
+}
+
+TEST(Pcg32, UniformIntDegenerateAndExtremeBounds) {
+  Pcg32 rng(7);
+  const int lo = std::numeric_limits<int>::min();
+  const int hi = std::numeric_limits<int>::max();
+  EXPECT_EQ(rng.uniform_int(lo, lo), lo);
+  EXPECT_EQ(rng.uniform_int(hi, hi), hi);
+  // A just-past-INT_MAX span (another historically overflowing case).
+  for (int i = 0; i < 200; ++i) {
+    int v = rng.uniform_int(-2, hi);
+    EXPECT_GE(v, -2);
+  }
+}
+
+TEST(Pcg32, UniformIntInRangeDrawsMatchUniformBelow) {
+  // The widening must not change any in-range draw: uniform_int(lo, hi) is
+  // still lo + uniform_below(hi - lo + 1), bit for bit, stream for stream.
+  Pcg32 a(42), b(42);
+  struct Range {
+    int lo, hi;
+  } ranges[] = {{0, 0}, {-2, 2}, {0, 6}, {-100, 100}, {5, 1000000}};
+  for (const Range& r : ranges) {
+    for (int i = 0; i < 50; ++i) {
+      int want = r.lo + static_cast<int>(b.uniform_below(
+                            static_cast<std::uint32_t>(r.hi - r.lo + 1)));
+      EXPECT_EQ(a.uniform_int(r.lo, r.hi), want)
+          << "[" << r.lo << "," << r.hi << "] draw " << i;
+    }
+  }
+  // And the streams stay aligned afterwards.
+  EXPECT_EQ(a.next_u32(), b.next_u32());
 }
 
 TEST(Pcg32, BernoulliFrequencyMatchesP) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -176,6 +177,21 @@ double percentile_by_sort(std::vector<double> v, double p) {
   std::size_t hi = std::min(lo + 1, v.size() - 1);
   double frac = idx - static_cast<double>(lo);
   return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+TEST(Percentile, RejectsNonFiniteSamples) {
+  // Regression: NaN breaks nth_element's strict weak ordering — the old
+  // code was UB (in practice: an arbitrary element returned silently). Any
+  // non-finite sample must instead fail loudly.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)percentile({nan}, 50.0), RequireError);
+  EXPECT_THROW((void)percentile({1.0, nan, 3.0}, 50.0), RequireError);
+  EXPECT_THROW((void)percentile({1.0, 2.0, inf}, 99.0), RequireError);
+  EXPECT_THROW((void)percentile({-inf, 2.0, 3.0}, 0.0), RequireError);
+  // Finite samples — including extreme but representable ones — still work.
+  EXPECT_EQ(percentile({5.0}, 50.0), 5.0);
+  EXPECT_EQ(percentile({1e308, -1e308}, 0.0), -1e308);
 }
 
 TEST(Percentile, BitIdenticalToSortBasedReference) {
