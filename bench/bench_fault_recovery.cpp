@@ -146,9 +146,9 @@ int main() {
     return run_trial(spec, rng, rounds);
   };
 
-  exp::Runner runner;
   util::Stopwatch sw;
-  std::vector<exp::Trial> trials = runner.run(std::move(specs), trial);
+  bench::Sweep sweep = bench::run_sweep(std::move(specs), trial);
+  std::vector<exp::Trial>& trials = sweep.trials;
   double wall = sw.seconds();
   bench::require_all_ok(trials);
 
@@ -177,6 +177,6 @@ int main() {
                " crash;\n'resync' counts rounds from takeover until every"
                " alive node holds a schedule again.\n";
   exp::write_json("fault_recovery", trials,
-                  {.jobs = runner.jobs(), .wall_seconds = wall}, &std::cerr);
+                  {.jobs = sweep.jobs, .wall_seconds = wall}, &std::cerr);
   return 0;
 }

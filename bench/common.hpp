@@ -14,10 +14,13 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/pid.hpp"
 #include "core/controller.hpp"
 #include "core/pretrained.hpp"
+#include "exp/campaign.hpp"
 #include "exp/runner.hpp"
 #include "phy/topology.hpp"
 #include "rl/quantized.hpp"
@@ -58,6 +61,46 @@ inline std::unique_ptr<core::AdaptivityController> make_controller(
                                                  features);
   if (name == "pid") return std::make_unique<baselines::PidController>();
   return std::make_unique<core::StaticController>(3);
+}
+
+/// One executed sweep: the trials in spec order plus the parallelism that
+/// ran them (timing metadata only — stripped before byte-identity diffs).
+struct Sweep {
+  std::vector<exp::Trial> trials;
+  int jobs = 1;
+};
+
+/// Runs a spec matrix through exp::Runner — or, when DIMMER_CAMPAIGN_DIR is
+/// set, through the sharded, checkpointed campaign engine (exp/campaign.hpp):
+/// DIMMER_CAMPAIGN_SHARDS worker processes stream results into per-shard
+/// journals under that directory, and a killed sweep re-run with the same
+/// environment resumes, re-running only the missing trials. The merged
+/// trials are byte-identical between the two engines and across any shard
+/// count or kill/resume history (timing fields aside), so the BENCH json is
+/// invariant to how the sweep was executed.
+inline Sweep run_sweep(std::vector<exp::TrialSpec> specs,
+                       const exp::TrialFn& fn) {
+  const char* dir = std::getenv("DIMMER_CAMPAIGN_DIR");
+  if (dir != nullptr && *dir != '\0') {
+    exp::CampaignOptions opt;
+    opt.dir = dir;
+    opt.shards = exp::campaign_shards_from_env();
+    exp::CampaignReport report = exp::Campaign(opt).run(specs, fn);
+    const auto& c = report.counters.counters();
+    auto count = [&](const char* k) {
+      auto it = c.find(k);
+      return it == c.end() ? std::uint64_t{0} : it->second;
+    };
+    std::cerr << "[bench] campaign '" << dir << "' ("
+              << (report.resumed ? "resumed" : "fresh") << "): "
+              << count("campaign.trials_run") << " trials run, "
+              << count("campaign.resumed_trials") << " replayed, "
+              << count("campaign.worker_deaths") << " worker deaths, "
+              << count("campaign.trials_failed") << " failed\n";
+    return {std::move(report.trials), opt.shards};
+  }
+  exp::Runner runner;
+  return {runner.run(std::move(specs), fn), runner.jobs()};
 }
 
 /// Abort the bench if any trial of a sweep failed, with the error on stderr.

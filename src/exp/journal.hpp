@@ -1,0 +1,109 @@
+// Append-only JSONL trial journals — the campaign's crash-safe record.
+//
+// Each shard worker streams one line per finished trial into its own
+// journal file (shard_NNN.jsonl). A line is written with a single write(2)
+// followed by fsync, so after any kill the file is a clean prefix of
+// terminated records plus at most one torn tail fragment. Replay:
+//
+//  - a missing file is an empty journal (the worker never got that far);
+//  - every '\n'-terminated line must parse — mid-file corruption is a real
+//    integrity failure and throws;
+//  - an unterminated final fragment is the torn write of the kill moment:
+//    it is dropped (and repaired by truncation before the next append);
+//  - two records for the same trial index throw (the single-writer flock
+//    below makes this impossible unless the directory was hand-edited).
+//
+// Byte-determinism: a worker runs its shard's trials serially in ascending
+// global-index order, so a journal's bytes depend only on (specs, shard
+// assignment) — not on kill/resume history. The identity tests diff entire
+// journal directories across kill schedules. Per-attempt bookkeeping that
+// *does* depend on crash timing lives in a separate sidecar
+// (shard_NNN.attempts.jsonl) excluded from those diffs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "exp/runner.hpp"
+
+namespace dimmer::exp {
+
+/// shard_<NNN>.jsonl under `dir` (three-digit zero-padded shard index).
+std::string shard_journal_path(const std::string& dir, int shard);
+
+/// shard_<NNN>.attempts.jsonl under `dir`.
+std::string shard_attempts_path(const std::string& dir, int shard);
+
+/// Thrown when another live process holds the journal's flock — a second
+/// worker for the same shard, or a second supervisor on the directory.
+class LogLockedError : public std::runtime_error {
+ public:
+  explicit LogLockedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Append-only JSONL writer. Opens (creating if needed) with an exclusive
+/// non-blocking flock held for the writer's lifetime; truncates a torn tail
+/// fragment left by a killed predecessor; then append_line() emits one
+/// record per call as a single write(2) + fsync.
+class AppendLog {
+ public:
+  explicit AppendLog(std::string path);
+  ~AppendLog();
+
+  AppendLog(const AppendLog&) = delete;
+  AppendLog& operator=(const AppendLog&) = delete;
+
+  /// Appends `line` (no trailing newline; one is added) atomically with
+  /// respect to kill: the record is either fully on disk or fully absent.
+  void append_line(const std::string& line);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// One replayed journal record.
+struct JournalRecord {
+  bool failed = false;  ///< "failed" (retry budget exhausted) vs "done"
+  std::uint64_t digest = 0;  ///< spec_digest of the spec this result is for
+  TrialResult result;
+};
+
+/// Journal line for a completed trial:
+///   {"type": "done", "trial": I, "digest": D, "result": {...}}
+std::string done_record(std::size_t trial, std::uint64_t digest,
+                        const TrialResult& result);
+
+/// Journal line for a trial whose retry budget is exhausted (written by
+/// the respawned worker that finds the trial over budget, with a
+/// deterministic synthetic error in `result`).
+std::string failed_record(std::size_t trial, std::uint64_t digest,
+                          const TrialResult& result);
+
+struct JournalReplay {
+  std::map<std::size_t, JournalRecord> records;  ///< keyed by trial index
+  std::size_t torn_bytes = 0;  ///< length of the dropped unterminated tail
+};
+
+/// Parses a shard journal back (see crash-tolerance rules in the header
+/// comment). Missing file => empty replay.
+JournalReplay replay_journal(const std::string& path);
+
+/// Attempts-sidecar line: {"trial": I, "attempt": K}  (K is 1-based).
+std::string attempt_record(std::size_t trial, int attempt);
+
+struct AttemptsReplay {
+  /// Highest attempt number seen per trial index.
+  std::map<std::size_t, int> attempts;
+  std::size_t torn_bytes = 0;
+};
+
+/// Parses an attempts sidecar; same crash-tolerance rules as the journal.
+AttemptsReplay replay_attempts(const std::string& path);
+
+}  // namespace dimmer::exp

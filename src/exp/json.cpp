@@ -1,12 +1,12 @@
 #include "exp/json.hpp"
 
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <ostream>
 #include <sstream>
 
 #include "exp/runner.hpp"
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
 #include "util/json.hpp"
 
@@ -145,15 +145,18 @@ std::string output_path(const std::string& bench) {
 bool write_json(const std::string& bench, const std::vector<Trial>& trials,
                 const JsonOptions& opt, std::ostream* log) {
   std::string path = output_path(bench);
-  std::ofstream f(path);
-  if (!f.good()) {
-    // The sweep's tables have already been printed by the time the JSON
-    // artifact is written; a bad DIMMER_BENCH_OUT must not abort the run.
-    std::cerr << "[exp] ERROR: cannot open " << path
-              << " for writing (check DIMMER_BENCH_OUT)\n";
+  try {
+    // Atomic replacement (util/atomic_file.hpp): a bench killed mid-write
+    // leaves the previous BENCH_*.json intact, never a truncated artifact.
+    util::write_file_atomic(path, to_json(bench, trials, opt));
+  } catch (const std::exception& e) {  // NOLINT-DIMMER(err-swallow):
+    // recorded, not swallowed — the sweep's tables have already been
+    // printed by the time the JSON artifact is written; a bad
+    // DIMMER_BENCH_OUT must not abort the run.
+    std::cerr << "[exp] ERROR: cannot write " << path << ": " << e.what()
+              << " (check DIMMER_BENCH_OUT)\n";
     return false;
   }
-  f << to_json(bench, trials, opt);
   if (log) *log << "[exp] wrote " << path << "\n";
   return true;
 }

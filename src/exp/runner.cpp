@@ -3,10 +3,14 @@
 #include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
+#include <optional>
+#include <sstream>
 #include <thread>
 
+#include "exp/watchdog.hpp"
 #include "util/check.hpp"
 #include "util/wallclock.hpp"
 
@@ -34,28 +38,59 @@ int jobs_from_env() {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+double trial_timeout_from_env() {
+  const char* s = std::getenv("DIMMER_TRIAL_TIMEOUT_S");
+  if (s == nullptr) return 0.0;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  const bool parsed = end != s && *end == '\0' && errno != ERANGE &&
+                      !std::isspace(static_cast<unsigned char>(*s));
+  DIMMER_REQUIRE(parsed, "DIMMER_TRIAL_TIMEOUT_S is not a valid number");
+  DIMMER_REQUIRE(std::isfinite(v) && v > 0.0,
+                 "DIMMER_TRIAL_TIMEOUT_S must be a positive finite number");
+  return v;
+}
+
+std::vector<util::Pcg32> fork_trial_rngs(const std::vector<TrialSpec>& specs,
+                                         std::uint64_t master_seed) {
+  util::Pcg32 root(master_seed);
+  std::vector<util::Pcg32> rngs;
+  rngs.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    rngs.push_back(root.fork(util::hash_u64(specs[i].seed, i)));
+  return rngs;
+}
+
 Runner::Runner() : Runner(Options{}) {}
 
 Runner::Runner(Options opt)
     : jobs_(opt.jobs > 0 ? opt.jobs : jobs_from_env()),
-      master_seed_(opt.master_seed) {}
+      master_seed_(opt.master_seed),
+      trial_timeout_s_(opt.trial_timeout_s < 0.0 ? trial_timeout_from_env()
+                                                 : opt.trial_timeout_s) {}
 
 std::vector<Trial> Runner::run(std::vector<TrialSpec> specs,
                                const TrialFn& fn) const {
+  // Fork every trial's generator *before* dispatch (see fork_trial_rngs).
+  std::vector<util::Pcg32> rngs = fork_trial_rngs(specs, master_seed_);
+
   std::vector<Trial> out(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i)
     out[i].spec = std::move(specs[i]);
 
-  // Fork every trial's generator from one root *before* dispatch, in spec
-  // order: the stream a trial sees is a function of its index and seed only,
-  // never of which worker picks it up or when.
-  util::Pcg32 root(master_seed_);
-  std::vector<util::Pcg32> rngs;
-  rngs.reserve(out.size());
-  for (std::size_t i = 0; i < out.size(); ++i)
-    rngs.push_back(root.fork(util::hash_u64(out[i].spec.seed, i)));
+  // One watchdog for the whole sweep; armed per trial below. Disabled (no
+  // thread at all) unless a deadline was configured.
+  std::optional<TrialWatchdog> watchdog;
+  if (trial_timeout_s_ > 0.0) watchdog.emplace(trial_timeout_s_);
 
   auto run_one = [&](std::size_t i) {
+    std::optional<TrialWatchdog::Scope> deadline;
+    if (watchdog) {
+      std::ostringstream label;
+      label << out[i].spec.scenario << "#" << i;
+      deadline.emplace(watchdog->watch(label.str()));
+    }
     util::Stopwatch sw;
     TrialResult r;
     try {

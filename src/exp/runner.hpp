@@ -80,6 +80,19 @@ using TrialFn = std::function<TrialResult(const TrialSpec&, util::Pcg32&)>;
 /// std::thread::hardware_concurrency() (at least 1).
 int jobs_from_env();
 
+/// Per-trial wall-clock deadline in seconds: DIMMER_TRIAL_TIMEOUT_S if set
+/// (strict full-string parse; must be a positive finite number), else 0
+/// (watchdog disabled). Same loud-failure discipline as jobs_from_env().
+double trial_timeout_from_env();
+
+/// Fork every trial's generator from one root in spec order: the stream a
+/// trial sees is a function of (master_seed, its index, its seed) only,
+/// never of which worker picks it up or when. Shared by Runner::run and the
+/// campaign shard workers — a worker forks *all* trials' generators and
+/// uses only its shard's, so sharding cannot shift anyone's stream.
+std::vector<util::Pcg32> fork_trial_rngs(const std::vector<TrialSpec>& specs,
+                                         std::uint64_t master_seed);
+
 class Runner {
  public:
   struct Options {
@@ -87,12 +100,17 @@ class Runner {
     /// Root of the per-trial fork tree; fixed so a sweep's RNG streams are
     /// reproducible across runs and machines.
     std::uint64_t master_seed = 0xD133E201ULL;
+    /// Per-trial wall-clock deadline; a trial that exceeds it kills the
+    /// whole process (exit kTrialTimeoutExit — see exp/watchdog.hpp).
+    /// < 0 = trial_timeout_from_env(); 0 = explicitly disabled.
+    double trial_timeout_s = -1.0;
   };
 
   Runner();  ///< default Options
   explicit Runner(Options opt);
 
   int jobs() const { return jobs_; }
+  double trial_timeout_s() const { return trial_timeout_s_; }
 
   /// Run every spec through `fn`. Trial exceptions are captured into
   /// TrialResult::ok/error; they do not abort the sweep.
@@ -101,6 +119,7 @@ class Runner {
  private:
   int jobs_;
   std::uint64_t master_seed_;
+  double trial_timeout_s_;
 };
 
 /// Merge the named per-trial distribution across all ok trials of

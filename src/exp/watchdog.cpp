@@ -1,0 +1,63 @@
+#include "exp/watchdog.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dimmer::exp {
+
+TrialWatchdog::TrialWatchdog(double timeout_s) : timeout_s_(timeout_s) {
+  if (enabled()) thread_ = std::thread([this] { loop(); });
+}
+
+TrialWatchdog::~TrialWatchdog() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  thread_.join();
+}
+
+TrialWatchdog::Scope::~Scope() {
+  if (dog_ != nullptr) dog_->unwatch(id_);
+}
+
+TrialWatchdog::Scope TrialWatchdog::watch(std::string label) {
+  if (!enabled()) return Scope(nullptr, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t id = next_id_++;
+  active_.emplace(id, Entry{std::move(label), util::Stopwatch{}});
+  return Scope(this, id);
+}
+
+void TrialWatchdog::unwatch(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.erase(id);
+}
+
+void TrialWatchdog::loop() {
+  // Polling granularity: fine enough that a deadline overshoots by at most
+  // ~5% of the budget, coarse enough to cost nothing. The destructor also
+  // waits out at most one interval.
+  const double interval = std::min(0.05, timeout_s_ / 20.0);
+  for (;;) {
+    util::sleep_seconds(interval);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    for (const auto& [id, entry] : active_) {
+      double elapsed = entry.since.seconds();
+      if (elapsed < timeout_s_) continue;
+      std::fprintf(stderr,
+                   "dimmer: watchdog: trial '%s' exceeded its deadline "
+                   "(%.1fs elapsed, %.1fs budget); killing the process\n",
+                   entry.label.c_str(), elapsed, timeout_s_);
+      std::fflush(stderr);
+      // _Exit, not abort: no core, no atexit handlers from a process whose
+      // worker threads are mid-trial; the exit code carries the diagnosis.
+      std::_Exit(kTrialTimeoutExit);
+    }
+  }
+}
+
+}  // namespace dimmer::exp

@@ -1,0 +1,82 @@
+// Per-trial deadline watchdog.
+//
+// A hung trial (deadlocked simulation, runaway loop) cannot be killed from
+// inside its own thread portably, so the watchdog is deliberately blunt:
+// when an armed scope outlives its deadline, the whole process dies, loudly,
+// with a distinct exit code. Standalone bench runs fail fast instead of
+// wedging CI; under the campaign supervisor the death is just another
+// worker crash — the trial is retried with backoff and, if it keeps timing
+// out, recorded as failed without losing the rest of the sweep.
+//
+// Timing uses util::Stopwatch + util::sleep_seconds polling (both from
+// src/util, the det-clock-exempt seam) — wall time here observes the host,
+// never feeds the simulation, so determinism of results is untouched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/wallclock.hpp"
+
+namespace dimmer::exp {
+
+/// Exit code of a process killed by its TrialWatchdog. Distinct so the
+/// campaign supervisor (and CI logs) can tell "trial deadline" from an
+/// ordinary crash.
+inline constexpr int kTrialTimeoutExit = 86;
+
+class TrialWatchdog {
+ public:
+  /// timeout_s <= 0 disables the watchdog: no thread is started and
+  /// watch() returns inert scopes.
+  explicit TrialWatchdog(double timeout_s);
+  ~TrialWatchdog();
+
+  TrialWatchdog(const TrialWatchdog&) = delete;
+  TrialWatchdog& operator=(const TrialWatchdog&) = delete;
+
+  /// RAII deadline: the labelled trial must finish (scope destruction)
+  /// within timeout_s of watch(), or the process exits.
+  class Scope {
+   public:
+    ~Scope();
+    Scope(Scope&& o) noexcept : dog_(o.dog_), id_(o.id_) {
+      o.dog_ = nullptr;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope& operator=(Scope&&) = delete;
+
+   private:
+    friend class TrialWatchdog;
+    Scope(TrialWatchdog* dog, std::uint64_t id) : dog_(dog), id_(id) {}
+    TrialWatchdog* dog_;
+    std::uint64_t id_;
+  };
+
+  Scope watch(std::string label);
+
+  bool enabled() const { return timeout_s_ > 0.0; }
+  double timeout_s() const { return timeout_s_; }
+
+ private:
+  struct Entry {
+    std::string label;
+    util::Stopwatch since;
+  };
+
+  void unwatch(std::uint64_t id);
+  void loop();
+
+  double timeout_s_;
+  std::mutex mu_;
+  bool stop_ = false;
+  std::uint64_t next_id_ = 0;
+  std::map<std::uint64_t, Entry> active_;
+  std::thread thread_;
+};
+
+}  // namespace dimmer::exp

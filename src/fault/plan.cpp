@@ -1,8 +1,11 @@
 #include "fault/plan.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "util/check.hpp"
+#include "util/json.hpp"
+#include "util/json_parse.hpp"
 
 namespace dimmer::fault {
 
@@ -77,6 +80,55 @@ void FaultPlan::validate(int n_nodes) const {
     }
   }
   DIMMER_REQUIRE(open_blackouts == 0, "unterminated blackout window");
+}
+
+namespace {
+// Wire names, indexed by FaultKind's enumerator values. Append-only: these
+// strings live in checkpoints on disk, so renaming one orphans every
+// campaign directory that mentions it.
+constexpr const char* kKindNames[] = {
+    "node_crash",     "node_reboot",  "coordinator_crash", "blackout_start",
+    "blackout_end",   "control_corruption",               "clock_drift"};
+constexpr int kKindCount = static_cast<int>(sizeof(kKindNames) / sizeof(kKindNames[0]));
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  int i = static_cast<int>(kind);
+  DIMMER_REQUIRE(i >= 0 && i < kKindCount, "unknown FaultKind value");
+  return kKindNames[i];
+}
+
+FaultKind fault_kind_from_string(const std::string& name) {
+  for (int i = 0; i < kKindCount; ++i)
+    if (name == kKindNames[i]) return static_cast<FaultKind>(i);
+  DIMMER_REQUIRE(false, "unknown fault kind name: " + name);
+  return FaultKind::kNodeCrash;  // unreachable
+}
+
+std::string to_json(const FaultPlan& plan) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    const FaultEvent& e = plan.events[i];
+    os << (i ? ", " : "") << "{\"round\": " << e.round << ", \"kind\": "
+       << util::json_quote(to_string(e.kind)) << ", \"node\": " << e.node
+       << ", \"severity\": " << util::json_number(e.severity) << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+FaultPlan plan_from_json(const util::json::Value& events) {
+  FaultPlan plan;
+  for (const util::json::Value& ev : events.as_array()) {
+    FaultEvent e;
+    e.round = ev.at("round").as_u64();
+    e.kind = fault_kind_from_string(ev.at("kind").as_string());
+    e.node = static_cast<NodeId>(ev.at("node").as_i64());
+    e.severity = ev.at("severity").as_double();
+    plan.events.push_back(e);
+  }
+  return plan;
 }
 
 }  // namespace dimmer::fault

@@ -12,7 +12,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+namespace dimmer::util::json {
+class Value;
+}
 
 namespace dimmer::fault {
 
@@ -67,5 +72,22 @@ struct FaultPlan {
   /// malformed (end before start, unmatched start/end).
   void validate(int n_nodes) const;
 };
+
+/// Stable wire name of a fault kind ("node_crash", "blackout_start", ...).
+const char* to_string(FaultKind kind);
+
+/// Inverse of to_string; throws util::RequireError on an unknown name.
+FaultKind fault_kind_from_string(const std::string& name);
+
+/// Deterministic JSON array of events, in insertion (replay-stable) order:
+///   [{"round": R, "kind": "node_crash", "node": N, "severity": S}, ...]
+/// Used by the campaign checkpoint so a resumed sweep re-runs missing
+/// trials under byte-identical fault scripts. Severity is "%.17g", so
+/// plan_from_json(parse(to_json(p))) reproduces `p` field-for-field.
+std::string to_json(const FaultPlan& plan);
+
+/// Parses the to_json() form back. Structural validation only (kinds,
+/// field types); node-range / window checks remain in validate().
+FaultPlan plan_from_json(const util::json::Value& events);
 
 }  // namespace dimmer::fault

@@ -5,6 +5,7 @@
 
 #include "util/check.hpp"
 #include "util/json.hpp"
+#include "util/json_parse.hpp"
 
 namespace dimmer::obs {
 
@@ -129,6 +130,46 @@ std::string MetricsRegistry::to_json() const {
   }
   os << "}";
   return os.str();
+}
+
+MetricsRegistry MetricsRegistry::from_json(const std::string& text) {
+  return from_value(util::json::parse(text));
+}
+
+MetricsRegistry MetricsRegistry::from_value(const util::json::Value& v) {
+  MetricsRegistry r;
+  if (const util::json::Value* counters = v.find("counters"))
+    for (const auto& [name, c] : counters->as_object())
+      r.counter(name) = c.as_u64();
+  if (const util::json::Value* gauges = v.find("gauges"))
+    for (const auto& [name, g] : gauges->as_object()) r.gauge(name) = g.as_double();
+  if (const util::json::Value* histograms = v.find("histograms")) {
+    for (const auto& [name, h] : histograms->as_object()) {
+      std::vector<double> bounds;
+      for (const util::json::Value& b : h.at("upper_bounds").as_array())
+        bounds.push_back(b.as_double());
+      Histogram& hist = r.histogram(name, bounds);
+      const auto& counts = h.at("counts").as_array();
+      DIMMER_REQUIRE(counts.size() == bounds.size() + 1,
+                     "histogram counts/bounds size mismatch");
+      for (std::size_t i = 0; i < counts.size(); ++i)
+        hist.counts[i] = counts[i].as_u64();
+      hist.count = h.at("count").as_u64();
+      hist.sum = h.at("sum").as_double();
+      // min/max are only serialized for non-empty histograms (the sentinels
+      // are +/-inf, which JSON cannot carry); an empty one keeps them.
+      if (hist.count > 0) {
+        hist.min = h.at("min").as_double();
+        hist.max = h.at("max").as_double();
+        DIMMER_REQUIRE(hist.min <= hist.max, "histogram min > max");
+      }
+      std::uint64_t bucket_total = 0;
+      for (std::uint64_t c : hist.counts) bucket_total += c;
+      DIMMER_REQUIRE(bucket_total == hist.count,
+                     "histogram bucket counts do not sum to count");
+    }
+  }
+  return r;
 }
 
 }  // namespace dimmer::obs

@@ -25,6 +25,10 @@
 #include <string>
 #include <vector>
 
+namespace dimmer::util::json {
+class Value;
+}
+
 namespace dimmer::obs {
 
 /// Fixed-bucket histogram: `upper_bounds` are the inclusive upper edges of
@@ -80,6 +84,17 @@ class MetricsRegistry {
   ///                              "count": n, "sum": s, "min": m, "max": M}}}
   /// Sections are omitted when empty; an entirely empty registry is "{}".
   std::string to_json() const;
+
+  /// Inverse of to_json(): rebuilds a registry from its serialized form, so
+  /// journaled trial registries and checkpointed campaign counters survive
+  /// a process kill. Round-trip contract (tested):
+  ///   from_json(r.to_json()).to_json() == r.to_json()   (byte-identical)
+  /// Throws util::RequireError / json::JsonParseError on malformed input.
+  static MetricsRegistry from_json(const std::string& text);
+
+  /// Same, from an already-parsed JSON value (used when the registry is a
+  /// subtree of a larger document, e.g. one journal record).
+  static MetricsRegistry from_value(const util::json::Value& v);
 
  private:
   std::map<std::string, std::uint64_t> counters_;

@@ -1,0 +1,97 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace dimmer::util {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+std::string parent_dir(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+// Durability of the rename itself: without a directory fsync a power cut can
+// roll the directory entry back to the old file. Best-effort — some
+// filesystems refuse to fsync a directory fd, and the rename is already
+// atomic for every crash short of power loss.
+void fsync_dir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+
+}  // namespace
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), tmp_(path_ + ".tmp") {
+  // O_TRUNC reclaims the debris of a previously crashed writer: the temp
+  // name is deterministic, so there is at most one stale file to overwrite.
+  fd_ = ::open(tmp_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  DIMMER_REQUIRE(fd_ >= 0, "cannot create temp file " + tmp_ + ": " +
+                               errno_text());
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (committed_) return;
+  if (fd_ >= 0) (void)::close(fd_);
+  (void)::unlink(tmp_.c_str());
+}
+
+void AtomicFileWriter::append(const std::string& data) {
+  DIMMER_CHECK_MSG(fd_ >= 0 && !committed_, "write after commit");
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      DIMMER_CHECK_MSG(false, "write to " + tmp_ + " failed: " + errno_text());
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void AtomicFileWriter::commit() {
+  DIMMER_CHECK_MSG(fd_ >= 0 && !committed_, "double commit");
+  bool ok = ::fsync(fd_) == 0;
+  ok = (::close(fd_) == 0) && ok;
+  fd_ = -1;
+  if (!ok) {
+    std::string err = errno_text();
+    (void)::unlink(tmp_.c_str());
+    committed_ = true;  // writer is inert either way
+    DIMMER_CHECK_MSG(false, "fsync/close of " + tmp_ + " failed: " + err);
+  }
+  if (::rename(tmp_.c_str(), path_.c_str()) != 0) {
+    std::string err = errno_text();
+    (void)::unlink(tmp_.c_str());
+    committed_ = true;
+    DIMMER_CHECK_MSG(false, "rename " + tmp_ + " -> " + path_ +
+                                " failed: " + err);
+  }
+  committed_ = true;
+  fsync_dir(parent_dir(path_));
+}
+
+void write_file_atomic(const std::string& path, const std::string& contents) {
+  AtomicFileWriter w(path);
+  w.append(contents);
+  w.commit();
+}
+
+}  // namespace dimmer::util

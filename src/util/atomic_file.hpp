@@ -1,0 +1,55 @@
+// Crash-safe file replacement: temp file + fsync + atomic rename.
+//
+// A killed bench must never leave a truncated BENCH_*.json or a half-written
+// campaign checkpoint: readers either see the complete old contents or the
+// complete new contents, never a prefix. The recipe is the standard POSIX
+// one — write everything to `<path>.tmp` in the same directory, fsync the
+// file, rename(2) it over the target (atomic within a filesystem), then
+// fsync the directory so the rename itself survives a power cut.
+//
+// AtomicFileWriter exposes the intermediate states so tests can simulate a
+// crash between any two steps (write a partial temp file, SIGKILL, assert
+// the old artifact is intact).
+#pragma once
+
+#include <string>
+
+namespace dimmer::util {
+
+/// Staged writer for one atomic replacement of `path`. Data lands in
+/// `path + ".tmp"` until commit(); the destructor discards an uncommitted
+/// temp file. Not copyable; one writer per target at a time (the temp name
+/// is deterministic so a crashed writer's debris is reclaimed — and a
+/// *live* concurrent writer to the same target would be a caller bug).
+class AtomicFileWriter {
+ public:
+  /// Opens (and truncates) the temp file. Throws util::RequireError if it
+  /// cannot be created — e.g. the directory does not exist.
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Appends bytes to the temp file. Throws util::CheckError on I/O failure.
+  void append(const std::string& data);
+
+  /// fsync + close + rename over the target + best-effort directory fsync.
+  /// After commit() the writer is inert. Throws util::CheckError on failure
+  /// (the temp file is removed; the old target is left untouched).
+  void commit();
+
+  /// The temp path used while staging (exposed for tests).
+  const std::string& temp_path() const { return tmp_; }
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  int fd_ = -1;
+  bool committed_ = false;
+};
+
+/// One-shot helper: atomically replace `path` with `contents`.
+void write_file_atomic(const std::string& path, const std::string& contents);
+
+}  // namespace dimmer::util

@@ -48,6 +48,34 @@ class RunningStats {
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
 
+  /// Raw Welford second moment (sum of squared deviations). Together with
+  /// count/mean/min/max this is the *complete* internal state: the campaign
+  /// journal persists these five fields so a replayed trial's stats merge
+  /// bit-identically to the stats of the trial that actually ran.
+  double m2() const { return m2_; }
+
+  /// Rebuilds a RunningStats from its serialized internal state. n == 0
+  /// restores the pristine default (min/max sentinels included); otherwise
+  /// every accessor and every later add()/merge() behaves bit-identically to
+  /// the original instance. Throws util::RequireError on non-finite state
+  /// or negative m2 (a corrupt journal, not a representable history).
+  static RunningStats restore(std::size_t n, double mean, double m2,
+                              double min, double max) {
+    RunningStats s;
+    if (n == 0) return s;
+    DIMMER_REQUIRE(std::isfinite(mean) && std::isfinite(m2) &&
+                       std::isfinite(min) && std::isfinite(max),
+                   "RunningStats::restore: non-finite state");
+    DIMMER_REQUIRE(m2 >= 0.0 && min <= max,
+                   "RunningStats::restore: inconsistent state");
+    s.n_ = n;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

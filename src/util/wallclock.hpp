@@ -10,6 +10,7 @@
 #pragma once
 
 #include <chrono>
+#include <thread>
 
 namespace dimmer::util {
 
@@ -20,6 +21,16 @@ inline double wallclock_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Blocks the calling thread for (at least) `s` seconds. For supervision
+/// paths only — worker respawn backoff, poll loops in the campaign engine —
+/// never inside a simulation: like every wall-clock read, a sleep can shift
+/// reported timing but must not be able to shift a single result bit.
+/// Negative or zero durations return immediately.
+inline void sleep_seconds(double s) {
+  if (s <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(s));
 }
 
 /// Monotonic elapsed-time measurement, started at construction.

@@ -18,6 +18,12 @@ int ambient() {
   return static_cast<int>(gen() % 7) + std::rand();  // line 18: det-clock
 }
 
+void naps() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));  // line 22: det-clock
+  usleep(250);  // line 23: det-clock
+  ::sleep(1);   // line 24: det-clock
+}
+
 int suppressed_ambient() {
   return std::rand();  // NOLINT-DIMMER(det-clock): fixture-sanctioned
 }

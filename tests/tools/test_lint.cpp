@@ -76,22 +76,23 @@ TEST(LintRules, TableListsAllSevenRules) {
 
 TEST(LintDetClock, FiresOnEveryAmbientSource) {
   auto fs = scan_fixture("clock_violation.cpp");
-  // steady_clock, time, random_device, mt19937, rand — 5 active findings.
+  // steady_clock, time, random_device, mt19937, rand, sleep_for, usleep,
+  // sleep — 8 active findings.
   auto active = lines_of(fs, "det-clock", /*suppressed=*/false);
-  EXPECT_EQ(active, (std::vector<int>{9, 13, 16, 17, 18}));
+  EXPECT_EQ(active, (std::vector<int>{9, 13, 16, 17, 18, 22, 23, 24}));
 }
 
 TEST(LintDetClock, HonoursSameLineAndNextLineSuppression) {
   auto fs = scan_fixture("clock_violation.cpp");
   auto suppressed = lines_of(fs, "det-clock", /*suppressed=*/true);
-  EXPECT_EQ(suppressed, (std::vector<int>{22, 27}));
+  EXPECT_EQ(suppressed, (std::vector<int>{28, 33}));
   EXPECT_TRUE(dimmer::lint::has_active(fs));
 }
 
 TEST(LintDetClock, IgnoresMembersStringsAndComments) {
   auto fs = scan_fixture("clock_violation.cpp");
   // Nothing past the suppressed block (the lookalikes section) may fire.
-  for (const auto& f : fs) EXPECT_LE(f.line, 27) << f.excerpt;
+  for (const auto& f : fs) EXPECT_LE(f.line, 33) << f.excerpt;
 }
 
 TEST(LintDetClock, ExemptsUtilAndToolsPrefixes) {

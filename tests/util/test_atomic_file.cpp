@@ -1,0 +1,102 @@
+// util/atomic_file.hpp: readers must see the complete old artifact or the
+// complete new one — never a prefix — across every crash point.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/atomic_file.hpp"
+#include "util/check.hpp"
+
+using dimmer::util::AtomicFileWriter;
+using dimmer::util::write_file_atomic;
+
+namespace {
+
+std::string make_temp_dir() {
+  std::string tmpl = ::testing::TempDir() + "dimmer_atomic_XXXXXX";
+  char* got = mkdtemp(tmpl.data());
+  EXPECT_NE(got, nullptr);
+  return tmpl;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+bool exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+TEST(AtomicFile, WritesAndOverwrites) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/artifact.json";
+  write_file_atomic(path, "{\"v\": 1}\n");
+  EXPECT_EQ(slurp(path), "{\"v\": 1}\n");
+  write_file_atomic(path, "{\"v\": 2}\n");
+  EXPECT_EQ(slurp(path), "{\"v\": 2}\n");
+  EXPECT_FALSE(exists(path + ".tmp")) << "temp must not outlive commit";
+}
+
+TEST(AtomicFile, StagesInTempUntilCommit) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/out.txt";
+  write_file_atomic(path, "old contents\n");
+  {
+    AtomicFileWriter w(path);
+    w.append("new ");
+    w.append("contents\n");
+    // Mid-write: the target still holds the complete old artifact.
+    EXPECT_EQ(slurp(path), "old contents\n");
+    EXPECT_TRUE(exists(w.temp_path()));
+    w.commit();
+  }
+  EXPECT_EQ(slurp(path), "new contents\n");
+}
+
+TEST(AtomicFile, UncommittedWriterDiscardsAndOldFileSurvives) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/out.txt";
+  write_file_atomic(path, "precious\n");
+  std::string tmp;
+  {
+    AtomicFileWriter w(path);
+    w.append("half-writ");
+    tmp = w.temp_path();
+    // No commit: scope exit models an exception path.
+  }
+  EXPECT_EQ(slurp(path), "precious\n");
+  EXPECT_FALSE(exists(tmp));
+}
+
+TEST(AtomicFile, ReclaimsDebrisFromKilledPredecessor) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/out.txt";
+  write_file_atomic(path, "survivor\n");
+  // A process killed mid-stage leaves <path>.tmp behind; the deterministic
+  // temp name means the next writer truncates it rather than choking.
+  {
+    std::ofstream debris(path + ".tmp", std::ios::binary);
+    debris << "torn garbage from a dead writer";
+  }
+  EXPECT_EQ(slurp(path), "survivor\n");
+  write_file_atomic(path, "fresh\n");
+  EXPECT_EQ(slurp(path), "fresh\n");
+  EXPECT_FALSE(exists(path + ".tmp"));
+}
+
+TEST(AtomicFile, MissingDirectoryThrowsLoudly) {
+  EXPECT_THROW(write_file_atomic("/nonexistent-dir-xyz/out.json", "x"),
+               dimmer::util::RequireError);
+}

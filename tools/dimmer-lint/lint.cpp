@@ -385,11 +385,17 @@ void rule_det_clock(const std::string& path, const std::vector<Tok>& toks,
       "minstd_rand",    "minstd_rand0",  "default_random_engine",
       "ranlux24_base",  "ranlux48_base", "knuth_b",
       "gettimeofday",   "timespec_get",  "localtime",
-      "gmtime",         "clock_gettime"};
+      "gmtime",         "clock_gettime",
+      // Sleeps: a thread that waits out wall time is reading the ambient
+      // clock with extra steps. Supervision code (the campaign engine's
+      // respawn backoff and poll loops) goes through util::sleep_seconds,
+      // which lives in the audited src/util/ seam like every clock read.
+      "sleep_for",      "sleep_until",   "usleep",
+      "nanosleep"};
   // Short, collision-prone names: only flagged when "::"-qualified or used
   // as a bare call (`time(nullptr)`), never as members of other objects.
   static const std::set<std::string> kQualBad = {"rand", "srand", "time",
-                                                 "clock"};
+                                                 "clock", "sleep"};
   for (std::size_t i = 0; i < toks.size(); ++i) {
     const std::string& t = toks[i].text;
     if (kBareBad.count(t)) {
