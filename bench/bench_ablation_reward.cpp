@@ -5,9 +5,9 @@
 // same traces and reports where each policy settles: the reliability /
 // radio-on operating point it chooses on the evaluation dataset.
 //
-// Each (C, model) pair trains as one trial on exp::Runner — the dominant
-// cost here is DQN training, which parallelises across DIMMER_JOBS workers
-// over a shared read-only trace dataset.
+// Each (C, model) pair trains as one trial via bench::run_sweep — the
+// dominant cost here is DQN training, which parallelises across DIMMER_JOBS
+// workers (or campaign shards) over a shared read-only trace dataset.
 #include <iostream>
 
 #include "bench/common.hpp"
@@ -84,9 +84,9 @@ int main() {
     return r;
   };
 
-  exp::Runner runner;
   util::Stopwatch sw;
-  std::vector<exp::Trial> trials = runner.run(std::move(specs), trial);
+  bench::Sweep sweep = bench::run_sweep(std::move(specs), trial);
+  std::vector<exp::Trial>& trials = sweep.trials;
   double wall = sw.seconds();
   bench::require_all_ok(trials);
 
@@ -110,6 +110,6 @@ int main() {
   std::cout << "\n(expected: radio-on time decreases with C — higher C"
                " trades reliability for energy)\n";
   exp::write_json("ablation_reward", trials,
-                  {.jobs = runner.jobs(), .wall_seconds = wall}, &std::cerr);
+                  {.jobs = sweep.jobs, .wall_seconds = wall}, &std::cerr);
   return 0;
 }

@@ -9,8 +9,8 @@
 // The table also reports how much of the tabular state space was never
 // visited during training (the coverage problem).
 //
-// The two agents train as parallel trials on exp::Runner over a shared
-// read-only trace dataset (DQN training dominates the wall-clock).
+// The two agents train as parallel trials via bench::run_sweep over a
+// shared read-only trace dataset (DQN training dominates the wall-clock).
 #include <iostream>
 
 #include "bench/common.hpp"
@@ -124,9 +124,9 @@ int main() {
     return r;
   };
 
-  exp::Runner runner;
   util::Stopwatch sw;
-  std::vector<exp::Trial> trials = runner.run(std::move(specs), trial);
+  bench::Sweep sweep = bench::run_sweep(std::move(specs), trial);
+  std::vector<exp::Trial>& trials = sweep.trials;
   double wall = sw.seconds();
   bench::require_all_ok(trials);
   const exp::TrialResult& dq = trials[0].result;
@@ -162,6 +162,6 @@ int main() {
                " the DQN exploits; the paper's\n full input space would need"
                " a table exponential in K and is unrepresentable)\n";
   exp::write_json("ablation_tabular", trials,
-                  {.jobs = runner.jobs(), .wall_seconds = wall}, &std::cerr);
+                  {.jobs = sweep.jobs, .wall_seconds = wall}, &std::cerr);
   return 0;
 }

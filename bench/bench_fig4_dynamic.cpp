@@ -7,9 +7,11 @@
 // prints the N_TX time series plus the paper's headline aggregates
 // (both ~99.3% reliable; Dimmer 12.3 ms vs PID 14.4 ms radio-on).
 //
-// The three controller runs execute as parallel trials on exp::Runner
-// (DIMMER_JOBS workers); each trial owns its topology, interference field
-// and network, so the table below is identical for every job count.
+// The three controller runs execute as parallel trials via
+// bench::run_sweep (exp::Runner with DIMMER_JOBS workers, or the sharded
+// campaign engine under DIMMER_CAMPAIGN_DIR); each trial owns its topology,
+// interference field and network, so the table below is identical for every
+// job or shard count.
 #include <cmath>
 #include <iostream>
 #include <memory>
@@ -109,9 +111,9 @@ int main() {
     return r;
   };
 
-  exp::Runner runner;
   util::Stopwatch sw;
-  std::vector<exp::Trial> trials = runner.run(std::move(specs), trial);
+  bench::Sweep sweep = bench::run_sweep(std::move(specs), trial);
+  std::vector<exp::Trial>& trials = sweep.trials;
   double wall = sw.seconds();
   bench::require_all_ok(trials);
 
@@ -146,6 +148,6 @@ int main() {
                " vs PID 14.4 ms radio-on —\n the PID overshoots to N_max"
                " under light interference, Dimmer finds the setpoint)\n";
   exp::write_json("fig4_dynamic", trials,
-                  {.jobs = runner.jobs(), .wall_seconds = wall}, &std::cerr);
+                  {.jobs = sweep.jobs, .wall_seconds = wall}, &std::cerr);
   return 0;
 }

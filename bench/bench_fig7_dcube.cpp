@@ -12,8 +12,9 @@
 // lost synchronization under jamming; Dimmer's rises with interference as
 // N_TX ramps to N_max, comparable to the dependability-tuned Crystal.
 //
-// Every (episode, protocol, run) cell is a trial on exp::Runner; DIMMER_JOBS
-// workers share nothing mutable, so the table is job-count independent.
+// Every (episode, protocol, run) cell is a trial run via bench::run_sweep
+// (exp::Runner, or the campaign engine under DIMMER_CAMPAIGN_DIR); workers
+// share nothing mutable, so the table is job- and shard-count independent.
 #include <iostream>
 #include <memory>
 #include <string>
@@ -119,9 +120,9 @@ int main() {
     return r;
   };
 
-  exp::Runner runner;
   util::Stopwatch sw;
-  std::vector<exp::Trial> trials = runner.run(std::move(specs), trial);
+  bench::Sweep sweep = bench::run_sweep(std::move(specs), trial);
+  std::vector<exp::Trial>& trials = sweep.trials;
   double wall = sw.seconds();
   bench::require_all_ok(trials);
 
@@ -152,6 +153,6 @@ int main() {
   std::cout << "\n(paper: LWB 100/93.6/27%; Dimmer 100/98.3/95.8% without"
                " retraining; Crystal 100/100/99%)\n";
   exp::write_json("fig7_dcube", trials,
-                  {.jobs = runner.jobs(), .wall_seconds = wall}, &std::cerr);
+                  {.jobs = sweep.jobs, .wall_seconds = wall}, &std::cerr);
   return 0;
 }

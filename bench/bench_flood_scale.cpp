@@ -5,11 +5,14 @@
 // times cycling-initiator floods through (a) GlossyFlood over the default
 // CachedLinkModel (dense N^2 matrix, every listener swept every step) and
 // (b) GlossyFlood over SparseLinkModel with the default 20 dB culling margin
-// (CSR scatter + zero-power listener skip). It reports ns/step, floods/sec
-// and delivery ratio for both, plus the link-storage story: nnz and CSR
-// bytes against the dense 8*N^2. The dense leg is skipped above
-// kDenseMaxNodes — holding (and sweeping) the full matrix at 4096 nodes is
-// exactly the cost the sparse backend exists to avoid.
+// (CSR scatter + zero-power listener skip). The sparse leg runs on a
+// construction-culled Topology (make_campus_topology_culled with the
+// matching gain floor), so neither the topology nor the link model ever
+// materializes an 8*N^2 matrix. It reports ns/step, floods/sec and delivery
+// ratio for both, plus the storage story at both layers: link-model nnz/CSR
+// bytes and topology gain nnz/bytes against the dense 8*N^2. The dense leg
+// is skipped above kDenseMaxNodes — holding (and sweeping) the full matrix
+// at 4096 nodes is exactly the cost the sparse backend exists to avoid.
 //
 // Timing fields here are measurements, not simulation outputs: this file is
 // exempt from the byte-identity rule that covers the figure benches.
@@ -99,14 +102,20 @@ int main() {
   const std::uint64_t seed = 2026;
 
   std::printf("simd backend: %s\n\n", util::simd::backend_name());
-  std::printf("%-6s %10s %12s %12s %10s %10s %8s %9s %9s\n", "nodes", "nnz",
-              "sparse B", "dense B", "sp ns/st", "dn ns/st", "speedup",
-              "sp deliv", "dn deliv");
+  std::printf("%-6s %10s %12s %12s %12s %10s %10s %8s %9s %9s\n", "nodes",
+              "nnz", "sparse B", "topo B", "dense B", "sp ns/st", "dn ns/st",
+              "speedup", "sp deliv", "dn deliv");
 
   std::string rows;
   bool ok = true;
   for (int n : sizes) {
-    phy::Topology topo = phy::make_campus_topology(n);
+    // Construction-culled topology with the floor matching the link model's
+    // default 20 dB margin at 0 dBm TX: surviving gains are bit-identical to
+    // make_campus_topology(n), and the dense gain matrix is never built.
+    const double gain_floor =
+        phy::gain_cull_floor_db(phy::RadioConstants{}, 20.0);
+    phy::Topology topo =
+        phy::make_campus_topology_culled(n, 1, gain_floor);
     phy::InterferenceField field;  // clean band: pure engine scaling
 
     phy::SparseLinkModel sparse_links(topo);  // default 20 dB margin
@@ -118,7 +127,8 @@ int main() {
     const bool run_dense = n <= kDenseMaxNodes;
     Timing dn;
     if (run_dense) {
-      flood::GlossyFlood dense_engine(topo, field);
+      phy::Topology dense_topo = phy::make_campus_topology(n);
+      flood::GlossyFlood dense_engine(dense_topo, field);
       dn = time_engine(dense_engine, n, floods, seed);
     }
 
@@ -126,9 +136,9 @@ int main() {
         run_dense && sp.ns_per_step() > 0.0
             ? dn.ns_per_step() / sp.ns_per_step()
             : 0.0;
-    std::printf("%-6d %10zu %12zu %12zu %10.1f %10s %7s %9.3f %9s\n", n,
-                sparse_links.nnz(), sparse_links.storage_bytes(), dense_bytes,
-                sp.ns_per_step(),
+    std::printf("%-6d %10zu %12zu %12zu %12zu %10.1f %10s %7s %9.3f %9s\n", n,
+                sparse_links.nnz(), sparse_links.storage_bytes(),
+                topo.gain_storage_bytes(), dense_bytes, sp.ns_per_step(),
                 run_dense ? std::to_string(static_cast<long long>(
                                 dn.ns_per_step()))
                                 .c_str()
@@ -149,6 +159,11 @@ int main() {
       std::cerr << "SPARSE STORAGE NOT SMALLER THAN DENSE at n=" << n << "\n";
       ok = false;
     }
+    if (n >= 1024 && topo.gain_storage_bytes() >= dense_bytes) {
+      std::cerr << "TOPOLOGY GAIN STORAGE NOT SMALLER THAN DENSE at n=" << n
+                << "\n";
+      ok = false;
+    }
     // Culling must not collapse the flood itself.
     if (sp.mean_delivery() < 0.5) {
       std::cerr << "SPARSE DELIVERY COLLAPSED at n=" << n << " ("
@@ -162,6 +177,9 @@ int main() {
             ", \"nnz\": " + std::to_string(sparse_links.nnz()) +
             ", \"sparse_bytes\": " +
             std::to_string(sparse_links.storage_bytes()) +
+            ", \"topo_gain_nnz\": " + std::to_string(topo.gain_nnz()) +
+            ", \"topo_gain_bytes\": " +
+            std::to_string(topo.gain_storage_bytes()) +
             ", \"dense_bytes\": " + std::to_string(dense_bytes) +
             ", \"sparse\": {\"floods_per_sec\": " +
             util::json_number(sp.floods_per_sec()) +

@@ -17,17 +17,35 @@ DimmerNetwork::DimmerNetwork(const phy::Topology& topo,
       controller_(std::move(controller)),
       coordinator_(coordinator),
       rng_(seed) {
+  init(seed);
+}
+
+DimmerNetwork::DimmerNetwork(phy::LinkModel& links,
+                             const phy::InterferenceField& interference,
+                             ProtocolConfig cfg,
+                             std::unique_ptr<AdaptivityController> controller,
+                             phy::NodeId coordinator, std::uint64_t seed)
+    : topo_(&links.topology()),
+      cfg_(std::move(cfg)),
+      executor_(links, interference, cfg_.round),
+      controller_(std::move(controller)),
+      coordinator_(coordinator),
+      rng_(seed) {
+  init(seed);
+}
+
+void DimmerNetwork::init(std::uint64_t seed) {
   DIMMER_REQUIRE(controller_ != nullptr, "controller must not be null");
-  DIMMER_REQUIRE(coordinator >= 0 && coordinator < topo.size(),
+  DIMMER_REQUIRE(coordinator_ >= 0 && coordinator_ < topo_->size(),
                  "coordinator out of range");
   DIMMER_REQUIRE(cfg_.initial_n_tx >= 1 && cfg_.initial_n_tx <= cfg_.n_max,
                  "initial_n_tx out of [1, N_max]");
   DIMMER_REQUIRE(cfg_.round_period > 0, "round period must be positive");
   DIMMER_REQUIRE(cfg_.sink == -1 ||
-                     (cfg_.sink >= 0 && cfg_.sink < topo.size()),
+                     (cfg_.sink >= 0 && cfg_.sink < topo_->size()),
                  "sink out of range");
 
-  const int n = topo.size();
+  const int n = topo_->size();
   states_.assign(static_cast<std::size_t>(n),
                  lwb::NodeState{cfg_.initial_n_tx, true, 0});
   stats_.assign(static_cast<std::size_t>(n),
@@ -103,10 +121,29 @@ bool DimmerNetwork::node_failed(phy::NodeId n) const {
 
 RoundStats DimmerNetwork::run_round(const std::vector<phy::NodeId>& sources) {
   RoundStats out;
+  run_round_into(sources, out);
+  return out;
+}
+
+void DimmerNetwork::run_round_into(const std::vector<phy::NodeId>& sources,
+                                   RoundStats& out) {
+  // Reset every field of the (possibly pooled) output; vector assigns reuse
+  // capacity, so a warmed-up RoundStats makes this allocation-free.
   out.round = round_idx_;
   out.start_us = time_;
   out.n_tx = next_n_tx_;
-  out.sources = sources;
+  out.mab_round = false;
+  out.active_forwarders = 0;
+  out.coordinator = -1;
+  out.orphaned = false;
+  out.failover = false;
+  out.reliability = 1.0;
+  out.lossless = true;
+  out.radio_on_ms = 0.0;
+  out.total_radio_on_us = 0;
+  out.coordinator_lossless = true;
+  out.desynchronized = 0;
+  out.sources.assign(sources.begin(), sources.end());
 
   // --- Scripted faults for this round, then the failover state machine.
   lwb::RoundDisruptions dis;
@@ -214,7 +251,6 @@ RoundStats DimmerNetwork::run_round(const std::vector<phy::NodeId>& sources) {
 
   time_ += cfg_.round_period;
   ++round_idx_;
-  return out;
 }
 
 void DimmerNetwork::apply_faults(RoundStats& out, lwb::RoundDisruptions& dis) {

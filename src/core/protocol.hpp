@@ -110,9 +110,24 @@ class DimmerNetwork {
                 std::unique_ptr<AdaptivityController> controller,
                 phy::NodeId coordinator, std::uint64_t seed);
 
+  /// Same network over an external LinkModel backend (non-owning; must
+  /// outlive the network). A federation cell at city scale binds a
+  /// SparseLinkModel over its restricted sub-topology this way.
+  DimmerNetwork(phy::LinkModel& links,
+                const phy::InterferenceField& interference, ProtocolConfig cfg,
+                std::unique_ptr<AdaptivityController> controller,
+                phy::NodeId coordinator, std::uint64_t seed);
+
   /// Executes one round with the given data-slot sources and advances time
   /// by the round period.
   RoundStats run_round(const std::vector<phy::NodeId>& sources);
+
+  /// Hot-path variant: identical semantics to run_round, but writes into a
+  /// caller-owned RoundStats whose vectors are reused across rounds — with a
+  /// stable source count the steady-state round performs no heap
+  /// allocations. `out` is overwritten.
+  void run_round_into(const std::vector<phy::NodeId>& sources,
+                      RoundStats& out);
 
   // -- Introspection --------------------------------------------------------
   sim::TimeUs now() const { return time_; }
@@ -128,6 +143,14 @@ class DimmerNetwork {
   }
   const ProtocolConfig& config() const { return cfg_; }
   const lwb::RoundExecutor& executor() const { return executor_; }
+  /// The pooled RoundResult of the most recent run_round: full per-slot
+  /// flood outcomes (a federation gateway checks whether it received a slot
+  /// before bridging it; the bit-identity tests compare these per node).
+  /// Valid until the next run_round.
+  const lwb::RoundResult& last_round_result() const { return round_buf_; }
+  /// The protocol RNG (read-only): lets tests assert two networks stayed in
+  /// RNG lockstep — equal streams after N rounds means every draw matched.
+  const util::Pcg32& rng() const { return rng_; }
 
   /// A node's local view of the last round's reliability (used for MAB
   /// rewards): its own reception ratio combined with the worst feedback
@@ -163,6 +186,7 @@ class DimmerNetwork {
   }
 
  private:
+  void init(std::uint64_t seed);  // shared ctor body (both LinkModel seams)
   void apply_faults(RoundStats& out, lwb::RoundDisruptions& dis);
   void maybe_failover(RoundStats& out);
   void update_failover_tracking(const lwb::RoundResult& rr,

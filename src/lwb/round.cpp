@@ -18,6 +18,20 @@ RoundExecutor::RoundExecutor(const phy::Topology& topo,
   ws_.reserve(topo.size());
 }
 
+RoundExecutor::RoundExecutor(phy::LinkModel& links,
+                             const phy::InterferenceField& interference,
+                             RoundConfig cfg)
+    : topo_(&links.topology()),
+      cfg_(std::move(cfg)),
+      engine_(links, interference) {
+  DIMMER_REQUIRE(phy::is_valid_channel(cfg_.control_channel),
+                 "invalid control channel");
+  for (phy::Channel c : cfg_.hop_sequence)
+    DIMMER_REQUIRE(phy::is_valid_channel(c), "invalid hopping channel");
+  DIMMER_REQUIRE(cfg_.max_sync_age >= 0, "max_sync_age must be >= 0");
+  ws_.reserve(topo_->size());
+}
+
 phy::Channel RoundExecutor::data_channel(std::uint64_t round_index,
                                          std::size_t slot_index) const {
   if (cfg_.hop_sequence.empty()) return cfg_.control_channel;
@@ -82,7 +96,23 @@ void RoundExecutor::run_round_into(sim::TimeUs start,
   result.awake_slots.assign(static_cast<std::size_t>(n), 0);
   result.got_control.assign(static_cast<std::size_t>(n), false);
   result.duration_us = round_duration(data_sources.size());
-  result.data.resize(data_sources.size());
+  // Size result.data without destroying warmed slots: a plain resize() would
+  // free each trailing slot's FloodResult buffers whenever the slot count
+  // dips (federated rounds see it vary with bridged traffic) and reallocate
+  // them on the next growth. Excess slots park in slot_pool_ instead and
+  // come back, capacity intact, when the count rises again.
+  while (result.data.size() > data_sources.size()) {
+    slot_pool_.push_back(std::move(result.data.back()));
+    result.data.pop_back();
+  }
+  while (result.data.size() < data_sources.size()) {
+    if (!slot_pool_.empty()) {
+      result.data.push_back(std::move(slot_pool_.back()));
+      slot_pool_.pop_back();
+    } else {
+      result.data.emplace_back();
+    }
+  }
 
   // dimmer-lint: hot-path begin — per-round flood execution; all buffers
   // recycle capacity assigned above, so steady-state rounds allocate nothing

@@ -110,6 +110,12 @@ class RoundExecutor {
   RoundExecutor(const phy::Topology& topo,
                 const phy::InterferenceField& interference, RoundConfig cfg);
 
+  /// Binds an external LinkModel backend instead of the internally-owned
+  /// dense cache (non-owning; must outlive the executor). This is how a
+  /// federation cell runs its rounds over a SparseLinkModel at city scale.
+  RoundExecutor(phy::LinkModel& links,
+                const phy::InterferenceField& interference, RoundConfig cfg);
+
   /// Executes one round starting at absolute time `start`.
   /// `states` (one per node) is updated in place: sync ages advance, and the
   /// executor applies `next_n_tx` to nodes that receive the control slot
@@ -164,6 +170,11 @@ class RoundExecutor {
   // Reused per-round scratch (hence "one executor per simulation thread").
   mutable flood::FloodWorkspace ws_;
   mutable std::vector<flood::NodeFloodConfig> slot_cfgs_;
+  /// Warmed DataSlotOutcomes parked here when a round has fewer data slots
+  /// than the last one, so a later growth recycles their buffers instead of
+  /// allocating (the slot count varies round to round under federation
+  /// bridging; see run_round_into).
+  mutable std::vector<DataSlotOutcome> slot_pool_;
 };
 
 }  // namespace dimmer::lwb

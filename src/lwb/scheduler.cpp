@@ -34,6 +34,13 @@ const Scheduler::Stream& Scheduler::stream(std::size_t stream_id) const {
 
 std::vector<phy::NodeId> Scheduler::schedule_round(sim::TimeUs now,
                                                    std::size_t max_slots) {
+  std::vector<phy::NodeId> slots;
+  schedule_round_into(now, max_slots, slots);
+  return slots;
+}
+
+void Scheduler::schedule_round_into(sim::TimeUs now, std::size_t max_slots,
+                                    std::vector<phy::NodeId>& slots) {
   DIMMER_REQUIRE(max_slots > 0, "max_slots must be positive");
 
   // Clamp runaway backlogs before collecting due streams: a stream more than
@@ -55,8 +62,10 @@ std::vector<phy::NodeId> Scheduler::schedule_round(sim::TimeUs now,
     backlog_dropped_ += dropped_now;
   }
 
-  // Due streams, earliest deadline first; stable on stream id.
-  std::vector<std::size_t> due;
+  // Due streams, earliest deadline first; stable on stream id. Scratch
+  // reuses capacity across rounds (see schedule_round_into's contract).
+  std::vector<std::size_t>& due = due_scratch_;
+  due.clear();
   for (std::size_t i = 0; i < streams_.size(); ++i)
     if (live_[i] && streams_[i].next_due <= now) due.push_back(i);
   std::sort(due.begin(), due.end(), [&](std::size_t a, std::size_t b) {
@@ -65,7 +74,7 @@ std::vector<phy::NodeId> Scheduler::schedule_round(sim::TimeUs now,
                : a < b;
   });
 
-  std::vector<phy::NodeId> slots;
+  slots.clear();
   for (std::size_t i : due) {
     if (slots.size() >= max_slots) break;  // carry over to the next round
     slots.push_back(streams_[i].source);
@@ -91,7 +100,6 @@ std::vector<phy::NodeId> Scheduler::schedule_round(sim::TimeUs now,
         .f("live_streams", static_cast<double>(stream_count()));
     instr_.trace->emit(e);
   }
-  return slots;
 }
 
 sim::TimeUs Scheduler::next_deadline() const {

@@ -42,6 +42,14 @@ class Scheduler {
   std::vector<phy::NodeId> schedule_round(sim::TimeUs now,
                                           std::size_t max_slots);
 
+  /// Hot-path variant: identical semantics to schedule_round, but writes the
+  /// allocated slots into a caller-owned vector (overwritten) and reuses
+  /// internal scratch — steady-state scheduling performs no heap
+  /// allocations once capacities have warmed up (the federated round loop
+  /// runs one of these per cell per epoch).
+  void schedule_round_into(sim::TimeUs now, std::size_t max_slots,
+                           std::vector<phy::NodeId>& slots);
+
   /// Earliest pending deadline (or -1 with no streams) — lets a host stretch
   /// the round period when nothing is due, LWB's energy lever.
   sim::TimeUs next_deadline() const;
@@ -64,6 +72,7 @@ class Scheduler {
  private:
   std::vector<Stream> streams_;
   std::vector<bool> live_;
+  std::vector<std::size_t> due_scratch_;  // reused by schedule_round_into
   obs::Instrumentation instr_;
   std::uint64_t schedule_calls_ = 0;
   std::uint64_t max_backlog_ = 64;

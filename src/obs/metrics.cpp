@@ -37,31 +37,47 @@ void Histogram::merge(const Histogram& o) {
   max = std::max(max, o.max);
 }
 
-std::uint64_t& MetricsRegistry::counter(const std::string& name) {
-  return counters_[name];
+std::uint64_t& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), 0).first;
+  return it->second;
 }
 
-double& MetricsRegistry::gauge(const std::string& name) {
-  return gauges_[name];
+double& MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), 0.0).first;
+  return it->second;
 }
 
 Histogram& MetricsRegistry::histogram(
-    const std::string& name, const std::vector<double>& upper_bounds) {
+    std::string_view name, std::initializer_list<double> upper_bounds) {
+  return histogram_impl(name, upper_bounds.begin(), upper_bounds.size());
+}
+
+Histogram& MetricsRegistry::histogram(
+    std::string_view name, const std::vector<double>& upper_bounds) {
+  return histogram_impl(name, upper_bounds.data(), upper_bounds.size());
+}
+
+Histogram& MetricsRegistry::histogram_impl(std::string_view name,
+                                           const double* bounds,
+                                           std::size_t n) {
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    DIMMER_REQUIRE(!upper_bounds.empty(),
-                   "histogram bucket bounds required on first use");
-    DIMMER_REQUIRE(
-        std::is_sorted(upper_bounds.begin(), upper_bounds.end()) &&
-            std::adjacent_find(upper_bounds.begin(), upper_bounds.end()) ==
-                upper_bounds.end(),
-        "histogram bucket bounds must be strictly ascending");
+    DIMMER_REQUIRE(n > 0, "histogram bucket bounds required on first use");
+    DIMMER_REQUIRE(std::is_sorted(bounds, bounds + n) &&
+                       std::adjacent_find(bounds, bounds + n) == bounds + n,
+                   "histogram bucket bounds must be strictly ascending");
     Histogram h;
-    h.upper_bounds = upper_bounds;
-    h.counts.assign(upper_bounds.size() + 1, 0);
-    it = histograms_.emplace(name, std::move(h)).first;
-  } else if (!upper_bounds.empty()) {
-    DIMMER_REQUIRE(it->second.upper_bounds == upper_bounds,
+    h.upper_bounds.assign(bounds, bounds + n);
+    h.counts.assign(n + 1, 0);
+    it = histograms_.emplace(std::string(name), std::move(h)).first;
+  } else if (n > 0) {
+    DIMMER_REQUIRE(it->second.upper_bounds.size() == n &&
+                       std::equal(bounds, bounds + n,
+                                  it->second.upper_bounds.begin()),
                    "histogram re-registered with different bucket bounds");
   }
   return it->second;

@@ -20,9 +20,11 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <limits>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace dimmer::util::json {
@@ -50,16 +52,28 @@ struct Histogram {
 
 class MetricsRegistry {
  public:
+  /// Transparent-comparator maps: lookups take string_view, so the hot-path
+  /// accessors below never construct a std::string (and never touch the
+  /// heap) once a metric exists — the federated round loop's steady-state
+  /// allocation audit counts on this.
+  using CounterMap = std::map<std::string, std::uint64_t, std::less<>>;
+  using GaugeMap = std::map<std::string, double, std::less<>>;
+  using HistogramMap = std::map<std::string, Histogram, std::less<>>;
+
   /// Named monotonic counter; creates it at 0 on first use.
-  std::uint64_t& counter(const std::string& name);
+  std::uint64_t& counter(std::string_view name);
 
   /// Named last-value gauge; creates it at 0.0 on first use.
-  double& gauge(const std::string& name);
+  double& gauge(std::string_view name);
 
   /// Named histogram. On first use the bucket upper bounds are installed
   /// (must be non-empty and strictly ascending); later calls must pass the
-  /// same bounds (or an empty vector to mean "whatever was installed").
-  Histogram& histogram(const std::string& name,
+  /// same bounds (or an empty list to mean "whatever was installed").
+  /// Braced-list call sites bind to the initializer_list overload, which
+  /// stays off the heap after first use.
+  Histogram& histogram(std::string_view name,
+                       std::initializer_list<double> upper_bounds);
+  Histogram& histogram(std::string_view name,
                        const std::vector<double>& upper_bounds);
 
   bool empty() const {
@@ -70,13 +84,9 @@ class MetricsRegistry {
   /// comment). Deterministic as long as merges happen in a fixed order.
   void merge(const MetricsRegistry& o);
 
-  const std::map<std::string, std::uint64_t>& counters() const {
-    return counters_;
-  }
-  const std::map<std::string, double>& gauges() const { return gauges_; }
-  const std::map<std::string, Histogram>& histograms() const {
-    return histograms_;
-  }
+  const CounterMap& counters() const { return counters_; }
+  const GaugeMap& gauges() const { return gauges_; }
+  const HistogramMap& histograms() const { return histograms_; }
 
   /// One deterministic JSON object:
   ///   {"counters": {...}, "gauges": {...},
@@ -97,9 +107,12 @@ class MetricsRegistry {
   static MetricsRegistry from_value(const util::json::Value& v);
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  Histogram& histogram_impl(std::string_view name, const double* bounds,
+                            std::size_t n);
+
+  CounterMap counters_;
+  GaugeMap gauges_;
+  HistogramMap histograms_;
 };
 
 }  // namespace dimmer::obs

@@ -43,9 +43,68 @@ Topology::Topology(std::vector<Vec2> positions, PathLossModel model,
   }
 }
 
+double Topology::pair_gain(NodeId a, NodeId b) const {
+  if (a == b) return 0.0;
+  // Evaluate with the lower id first: distance() is bitwise symmetric
+  // ((x-y)^2 == (y-x)^2 exactly) and the dense constructor keys the
+  // shadowing hash on (min, max), so this reproduces its bits for either
+  // argument order.
+  const NodeId lo = a < b ? a : b;
+  const NodeId hi = a < b ? b : a;
+  const double d = distance(positions_[static_cast<std::size_t>(lo)],
+                            positions_[static_cast<std::size_t>(hi)]);
+  const double shadow =
+      model_.shadowing_sigma_db *
+      hashed_normal(util::hash_u64(shadow_seed_, static_cast<std::uint64_t>(lo),
+                                   static_cast<std::uint64_t>(hi)));
+  return -model_.path_loss_db(d) + shadow;
+}
+
+Topology::Topology(std::vector<Vec2> positions, PathLossModel model,
+                   RadioConstants radio, std::uint64_t shadow_seed,
+                   double gain_floor_db)
+    : positions_(std::move(positions)),
+      model_(model),
+      radio_(radio),
+      shadow_seed_(shadow_seed),
+      culled_(true),
+      gain_floor_db_(gain_floor_db) {
+  DIMMER_REQUIRE(positions_.size() >= 2, "topology needs at least two nodes");
+  DIMMER_REQUIRE(!std::isnan(gain_floor_db), "gain_floor_db must not be NaN");
+  const int n = size();
+  const auto un = static_cast<std::size_t>(n);
+  row_ptr_.assign(un + 1, 0);
+  // Typical mesh survivor count; rows append without a dense intermediate,
+  // which is the point: peak memory is O(nnz), never O(N^2).
+  col_.reserve(un * 16);
+  cgain_.reserve(un * 16);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      // The diagonal (0.0 self-gain) always survives, matching the dense
+      // matrix; NaN floors are rejected above so `>=` is a total predicate.
+      const double g = pair_gain(a, b);
+      if (a == b || g >= gain_floor_db) {
+        col_.push_back(b);
+        cgain_.push_back(g);
+      }
+    }
+    row_ptr_[static_cast<std::size_t>(a) + 1] = col_.size();
+  }
+}
+
 Vec2 Topology::position(NodeId n) const {
   DIMMER_REQUIRE(n >= 0 && n < size(), "node id out of range");
   return positions_[static_cast<std::size_t>(n)];
+}
+
+std::size_t Topology::gain_nnz() const {
+  return culled_ ? cgain_.size() : gain_.size();
+}
+
+std::size_t Topology::gain_storage_bytes() const {
+  if (!culled_) return gain_.size() * sizeof(double);
+  return row_ptr_.size() * sizeof(std::size_t) + col_.size() * sizeof(NodeId) +
+         cgain_.size() * sizeof(double);
 }
 
 double Topology::gain_db(NodeId tx, NodeId rx) const {
@@ -54,7 +113,14 @@ double Topology::gain_db(NodeId tx, NodeId rx) const {
   // hop_counts), so the per-call check is debug-only.
   DIMMER_DEBUG_ASSERT(tx >= 0 && tx < size() && rx >= 0 && rx < size(),
                       "node id out of range");
-  return gain_[static_cast<std::size_t>(tx) * size() + rx];
+  if (!culled_) return gain_[static_cast<std::size_t>(tx) * size() + rx];
+  // CSR row binary search; a culled pair is a link that does not exist.
+  const NodeId* lo = col_.data() + row_ptr_[static_cast<std::size_t>(tx)];
+  const NodeId* hi = col_.data() + row_ptr_[static_cast<std::size_t>(tx) + 1];
+  const NodeId* it = std::lower_bound(lo, hi, rx);
+  if (it == hi || *it != rx)
+    return -std::numeric_limits<double>::infinity();
+  return cgain_[static_cast<std::size_t>(it - col_.data())];
 }
 
 double Topology::rx_power_dbm(NodeId tx, NodeId rx,
@@ -66,11 +132,67 @@ double Topology::gain_from_point_db(Vec2 p, NodeId rx,
                                     std::uint64_t shadow_tag) const {
   DIMMER_REQUIRE(rx >= 0 && rx < size(), "node id out of range");
   double d = distance(p, positions_[static_cast<std::size_t>(rx)]);
+  // Restricted sub-topologies key the draw on the parent id, so a cell-local
+  // node sees the exact interference shadowing of its global counterpart.
   double shadow =
       model_.shadowing_sigma_db *
       hashed_normal(util::hash_u64(shadow_seed_ ^ 0x9d2c5680ULL, shadow_tag,
-                                   static_cast<std::uint64_t>(rx)));
+                                   static_cast<std::uint64_t>(parent_id(rx))));
   return -model_.path_loss_db(d) + shadow;
+}
+
+NodeId Topology::parent_id(NodeId n) const {
+  DIMMER_REQUIRE(n >= 0 && n < size(), "node id out of range");
+  return parent_ids_.empty() ? n : parent_ids_[static_cast<std::size_t>(n)];
+}
+
+Topology::Topology(RestrictedTag, const Topology& parent,
+                   const std::vector<NodeId>& members)
+    : model_(parent.model_),
+      radio_(parent.radio_),
+      shadow_seed_(parent.shadow_seed_),
+      culled_(parent.culled_),
+      gain_floor_db_(parent.gain_floor_db_) {
+  const int m = static_cast<int>(members.size());
+  DIMMER_REQUIRE(m >= 2, "restricted topology needs >= 2 members");
+  positions_.reserve(members.size());
+  parent_ids_.reserve(members.size());
+  for (int i = 0; i < m; ++i) {
+    const NodeId g = members[static_cast<std::size_t>(i)];
+    DIMMER_REQUIRE(g >= 0 && g < parent.size(), "member id out of range");
+    DIMMER_REQUIRE(i == 0 || g > members[static_cast<std::size_t>(i) - 1],
+                   "members must be strictly ascending");
+    positions_.push_back(parent.positions_[static_cast<std::size_t>(g)]);
+    // Compose through the parent's own mapping so nested restrictions still
+    // key external shadowing on the original topology's ids.
+    parent_ids_.push_back(parent.parent_id(g));
+  }
+  if (!culled_) {
+    gain_.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(m),
+                 0.0);
+    for (NodeId a = 0; a < m; ++a)
+      for (NodeId b = 0; b < m; ++b)
+        gain_at(a, b) = parent.gain_db(members[static_cast<std::size_t>(a)],
+                                       members[static_cast<std::size_t>(b)]);
+    return;
+  }
+  // Culled parent: copy the member rows' survivors (bit-identical values);
+  // a pair culled in the parent stays culled here.
+  row_ptr_.assign(static_cast<std::size_t>(m) + 1, 0);
+  for (NodeId a = 0; a < m; ++a) {
+    const NodeId ga = members[static_cast<std::size_t>(a)];
+    for (NodeId b = 0; b < m; ++b) {
+      const double g = parent.gain_db(ga, members[static_cast<std::size_t>(b)]);
+      if (g == -std::numeric_limits<double>::infinity()) continue;
+      col_.push_back(b);
+      cgain_.push_back(g);
+    }
+    row_ptr_[static_cast<std::size_t>(a) + 1] = col_.size();
+  }
+}
+
+Topology Topology::restricted(const std::vector<NodeId>& members) const {
+  return Topology(RestrictedTag{}, *this, members);
 }
 
 double Topology::sinr_threshold_db(int frame_bytes, double target_per) {
@@ -278,6 +400,32 @@ Topology make_campus_topology(int n, std::uint64_t shadow_seed) {
   }
   return Topology(std::move(pos), office_path_loss(), RadioConstants{},
                   shadow_seed);
+}
+
+Topology make_campus_topology_culled(int n, std::uint64_t shadow_seed,
+                                     double gain_floor_db) {
+  DIMMER_REQUIRE(n >= 2, "campus topology needs >= 2 nodes");
+  // Same placement loop (and RNG stream) as make_campus_topology so the
+  // surviving gains are bit-identical to the dense factory's.
+  const int cols =
+      std::max(1, static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n)))));
+  std::vector<Vec2> pos;
+  pos.reserve(static_cast<std::size_t>(n));
+  util::Pcg32 rng(util::hash_u64(0xCA3D05ULL, shadow_seed));
+  for (int i = 0; i < n; ++i) {
+    const int r = i / cols;
+    const int c = i % cols;
+    const double x = 4.0 + 9.0 * c + rng.uniform(-2.5, 2.5);
+    const double y = 4.0 + 9.0 * r + rng.uniform(-2.5, 2.5);
+    pos.push_back({x, y});
+  }
+  return Topology(std::move(pos), office_path_loss(), RadioConstants{},
+                  shadow_seed, gain_floor_db);
+}
+
+double gain_cull_floor_db(const RadioConstants& radio, double cull_margin_db,
+                          double max_tx_power_dbm) {
+  return radio.noise_floor_dbm - cull_margin_db - max_tx_power_dbm;
 }
 
 }  // namespace dimmer::phy

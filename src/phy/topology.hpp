@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "phy/geometry.hpp"
@@ -33,10 +34,21 @@ struct NeighborCsr {
 
 class Topology {
  public:
-  /// Builds the gain matrix. `shadow_seed` fixes the lognormal shadowing
-  /// draws; identical seeds give identical radio environments.
+  /// Builds the dense gain matrix. `shadow_seed` fixes the lognormal
+  /// shadowing draws; identical seeds give identical radio environments.
   Topology(std::vector<Vec2> positions, PathLossModel model,
            RadioConstants radio, std::uint64_t shadow_seed);
+
+  /// Culling constructor (ROADMAP item 2): link gains below `gain_floor_db`
+  /// are dropped *at construction* and the survivors stored as CSR rows —
+  /// O(nnz) instead of the dense 8*N^2 bytes. Surviving entries hold the
+  /// exact double the dense constructor would hold (same distance, same
+  /// hashed shadowing draw); culled pairs read as -infinity, i.e. a link
+  /// that physically does not exist. Self-gains (the 0.0 diagonal) always
+  /// survive. Pass -infinity to keep every link in CSR form.
+  Topology(std::vector<Vec2> positions, PathLossModel model,
+           RadioConstants radio, std::uint64_t shadow_seed,
+           double gain_floor_db);
 
   int size() const { return static_cast<int>(positions_.size()); }
   Vec2 position(NodeId n) const;
@@ -44,10 +56,21 @@ class Topology {
   const RadioConstants& radio() const { return radio_; }
   std::uint64_t shadow_seed() const { return shadow_seed_; }
 
+  /// True when this topology stores a construction-culled CSR gain matrix.
+  bool culled() const { return culled_; }
+  /// The culling floor (-infinity for dense topologies: nothing was culled).
+  double gain_floor_db() const { return gain_floor_db_; }
+  /// Stored gain entries (diagonal included); N^2 for dense topologies.
+  std::size_t gain_nnz() const;
+  /// Bytes held by the gain storage (dense matrix, or CSR arrays when
+  /// culled) — the number bench_flood_scale reports against 8*N^2.
+  std::size_t gain_storage_bytes() const;
+
   /// Link gain in dB between two nodes (path loss + static shadowing, < 0).
   /// Hot accessor: bounds are checked in debug builds only — callers are
   /// expected to validate node ids at their own API boundary (the flood
-  /// engine does so at flood entry).
+  /// engine does so at flood entry). On a culled topology this is a binary
+  /// search within the CSR row; culled pairs return -infinity.
   double gain_db(NodeId tx, NodeId rx) const;
 
   /// Received power in dBm at `rx` for a transmission from `tx`. Same
@@ -55,8 +78,27 @@ class Topology {
   double rx_power_dbm(NodeId tx, NodeId rx, double tx_power_dbm) const;
 
   /// Gain from an arbitrary point (e.g. a jammer) to a node. `shadow_tag`
-  /// identifies the external transmitter so its shadowing is stable.
+  /// identifies the external transmitter so its shadowing is stable. On a
+  /// restricted() sub-topology the shadowing draw keys on the node's
+  /// *parent* id, so a cell-local node hears exactly the interference its
+  /// global counterpart would.
   double gain_from_point_db(Vec2 p, NodeId rx, std::uint64_t shadow_tag) const;
+
+  /// Extracts the sub-topology induced by `members` (strictly ascending
+  /// parent node ids, >= 2 of them): local node i is parent node members[i],
+  /// every surviving gain entry is copied bit-for-bit from the parent (no
+  /// re-draw — pairwise shadowing between members is preserved, unlike
+  /// rebuilding a Topology from the member positions, which would re-key
+  /// the draws on the compacted ids), and external-point shadowing keys on
+  /// the parent ids (see gain_from_point_db). Culling state (floor, CSR
+  /// storage) is inherited. This is the Cell seam's id-remapping primitive:
+  /// restricting to *all* nodes yields a topology whose every query is
+  /// bit-identical to the parent (asserted in tests/phy/test_topology.cpp).
+  Topology restricted(const std::vector<NodeId>& members) const;
+
+  /// Parent id of a local node: members[n] for restricted() topologies, n
+  /// itself otherwise. Composes across nested restrictions.
+  NodeId parent_id(NodeId n) const;
 
   /// CSR neighbor lists over "good" links (clean-SNR PER below 10% for
   /// `frame_bytes` at `tx_power_dbm`). Built in one O(N^2) pass over the
@@ -83,11 +125,31 @@ class Topology {
   static double sinr_threshold_db(int frame_bytes, double target_per);
 
  private:
+  struct RestrictedTag {};
+  Topology(RestrictedTag, const Topology& parent,
+           const std::vector<NodeId>& members);
+
+  /// The exact pairwise gain expression of the dense constructor, evaluated
+  /// symmetrically (distance and the shadowing hash key on the lower id
+  /// first), so per-row culled construction reproduces the dense bits.
+  double pair_gain(NodeId a, NodeId b) const;
+
   std::vector<Vec2> positions_;
   PathLossModel model_;
   RadioConstants radio_;
   std::uint64_t shadow_seed_;
-  std::vector<double> gain_;  // row-major size*size, symmetric
+  std::vector<double> gain_;  // row-major size*size, symmetric (dense mode)
+
+  // Construction-culled CSR storage (culled_ == true): survivors per row,
+  // ascending column ids, parallel gain values. gain_ stays empty.
+  bool culled_ = false;
+  double gain_floor_db_ = -std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> row_ptr_;  // n+1 offsets
+  std::vector<NodeId> col_;
+  std::vector<double> cgain_;
+
+  // restricted(): local -> parent node ids (empty = identity).
+  std::vector<NodeId> parent_ids_;
 
   double& gain_at(NodeId a, NodeId b) { return gain_[a * size() + b]; }
 };
@@ -123,5 +185,20 @@ Topology make_dcube48_topology(std::uint64_t shadow_seed = 48);
 /// make_random_topology's rejection loop. Node 0 is the coordinator in the
 /// first grid corner; the flood diameter grows as sqrt(n).
 Topology make_campus_topology(int n, std::uint64_t shadow_seed = 1);
+
+/// Campus factory with construction-time gain culling (see the culling
+/// Topology constructor): identical placement and surviving gains to
+/// make_campus_topology(n, shadow_seed), stored as CSR above the floor.
+Topology make_campus_topology_culled(int n, std::uint64_t shadow_seed,
+                                     double gain_floor_db);
+
+/// A gain floor consistent with SparseLinkModel's rx-power culling: a link
+/// culled at construction (gain < floor) would also have been culled by a
+/// SparseLinkModel with `cull_margin_db` at any TX power <= max_tx_power_dbm,
+/// because rx_power = tx_power + gain < noise_floor - margin. Topology-level
+/// culling with this floor therefore never removes a link the link model
+/// would have kept.
+double gain_cull_floor_db(const RadioConstants& radio, double cull_margin_db,
+                          double max_tx_power_dbm = 0.0);
 
 }  // namespace dimmer::phy

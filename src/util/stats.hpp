@@ -116,6 +116,11 @@ class WindowMean {
 
   void add(double x) {
     if (buf_.size() < cap_) {
+      // Copied instances lose the ctor's reserve (vector copies drop spare
+      // capacity); re-reserve in full so the window's growth phase costs at
+      // most one allocation, not a doubling series — steady-state audits
+      // count on add() never touching the heap after the first call.
+      if (buf_.capacity() < cap_) buf_.reserve(cap_);
       buf_.push_back(x);
       sum_ += x;
     } else {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstddef>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -295,6 +297,145 @@ TEST(CampusTopology, IsConnectedByConstruction) {
   Topology big = make_campus_topology(200);
   auto hops = big.hop_counts(0);
   EXPECT_GE(*std::max_element(hops.begin(), hops.end()), 3);
+}
+
+TEST(CulledTopology, SurvivorsBitIdenticalToDense) {
+  const int n = 200;
+  const std::uint64_t seed = 7;
+  Topology dense = make_campus_topology(n, seed);
+  const double floor_db = gain_cull_floor_db(dense.radio(), 10.0);
+  Topology culled = make_campus_topology_culled(n, seed, floor_db);
+  ASSERT_TRUE(culled.culled());
+  ASSERT_FALSE(dense.culled());
+  EXPECT_EQ(culled.gain_floor_db(), floor_db);
+  std::size_t survivors = 0;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      const double dg = dense.gain_db(a, b);
+      const double cg = culled.gain_db(a, b);
+      if (a == b || dg >= floor_db) {
+        // Bitwise: same distance expression, same hashed shadowing draw.
+        EXPECT_EQ(dg, cg) << "a=" << a << " b=" << b;
+        ++survivors;
+      } else {
+        EXPECT_EQ(cg, -std::numeric_limits<double>::infinity())
+            << "a=" << a << " b=" << b;
+      }
+    }
+  }
+  EXPECT_EQ(culled.gain_nnz(), survivors);
+}
+
+TEST(CulledTopology, StorageShrinksAtScale) {
+  const int n = 512;
+  Topology dense = make_campus_topology(n, 3);
+  const double floor_db = gain_cull_floor_db(dense.radio(), 10.0);
+  Topology culled = make_campus_topology_culled(n, 3, floor_db);
+  EXPECT_EQ(dense.gain_nnz(), static_cast<std::size_t>(n) * n);
+  EXPECT_EQ(dense.gain_storage_bytes(),
+            static_cast<std::size_t>(n) * n * sizeof(double));
+  EXPECT_LT(culled.gain_nnz(), dense.gain_nnz() / 2);
+  EXPECT_LT(culled.gain_storage_bytes(), dense.gain_storage_bytes() / 2);
+}
+
+TEST(CulledTopology, MinusInfFloorKeepsEveryLink) {
+  Topology dense = make_campus_topology(48, 5);
+  Topology all = make_campus_topology_culled(
+      48, 5, -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(all.gain_nnz(), static_cast<std::size_t>(48) * 48);
+  for (NodeId a = 0; a < 48; ++a)
+    for (NodeId b = 0; b < 48; ++b)
+      EXPECT_EQ(dense.gain_db(a, b), all.gain_db(a, b));
+}
+
+TEST(CulledTopology, RejectsNanFloor) {
+  EXPECT_THROW((void)make_campus_topology_culled(
+                   48, 1, std::numeric_limits<double>::quiet_NaN()),
+               util::RequireError);
+}
+
+TEST(GainCullFloor, ConsistentWithSparseLinkModelCulling) {
+  RadioConstants radio;
+  // rx_power = tx_power + gain; a link culled at construction must satisfy
+  // rx_power < noise_floor - margin for all tx_power <= max considered.
+  const double floor_db = gain_cull_floor_db(radio, 12.0, 0.0);
+  EXPECT_DOUBLE_EQ(floor_db, radio.noise_floor_dbm - 12.0);
+  EXPECT_LT(gain_cull_floor_db(radio, 12.0, 5.0), floor_db);
+}
+
+TEST(RestrictedTopology, FullMembershipIsBitIdentical) {
+  Topology t = make_campus_topology(64, 11);
+  std::vector<NodeId> all(64);
+  for (int i = 0; i < 64; ++i) all[static_cast<std::size_t>(i)] = i;
+  Topology r = t.restricted(all);
+  ASSERT_EQ(r.size(), t.size());
+  Vec2 jam{20.0, 20.0};
+  for (NodeId a = 0; a < 64; ++a) {
+    EXPECT_EQ(r.parent_id(a), a);
+    EXPECT_EQ(r.gain_from_point_db(jam, a, 42), t.gain_from_point_db(jam, a, 42));
+    for (NodeId b = 0; b < 64; ++b) EXPECT_EQ(r.gain_db(a, b), t.gain_db(a, b));
+  }
+}
+
+TEST(RestrictedTopology, SubsetPreservesPairwiseGainsAndParentIds) {
+  Topology t = make_campus_topology(100, 13);
+  std::vector<NodeId> members{3, 17, 18, 40, 77, 99};
+  Topology r = t.restricted(members);
+  ASSERT_EQ(r.size(), 6);
+  Vec2 jam{0.0, 0.0};
+  for (int i = 0; i < 6; ++i) {
+    const NodeId g = members[static_cast<std::size_t>(i)];
+    EXPECT_EQ(r.parent_id(i), g);
+    EXPECT_EQ(r.position(i).x, t.position(g).x);
+    EXPECT_EQ(r.position(i).y, t.position(g).y);
+    // External shadowing keys on the parent id: the restricted node hears
+    // exactly what its global counterpart hears.
+    EXPECT_EQ(r.gain_from_point_db(jam, i, 9), t.gain_from_point_db(jam, g, 9));
+    for (int j = 0; j < 6; ++j)
+      EXPECT_EQ(r.gain_db(i, j),
+                t.gain_db(g, members[static_cast<std::size_t>(j)]));
+  }
+}
+
+TEST(RestrictedTopology, NestedRestrictionComposesParentIds) {
+  Topology t = make_campus_topology(100, 13);
+  std::vector<NodeId> outer{3, 17, 18, 40, 77, 99};
+  Topology r1 = t.restricted(outer);
+  // Local ids 1,3,5 of r1 = parent ids 17, 40, 99.
+  Topology r2 = r1.restricted({1, 3, 5});
+  ASSERT_EQ(r2.size(), 3);
+  EXPECT_EQ(r2.parent_id(0), 17);
+  EXPECT_EQ(r2.parent_id(1), 40);
+  EXPECT_EQ(r2.parent_id(2), 99);
+  EXPECT_EQ(r2.gain_db(0, 2), t.gain_db(17, 99));
+  Vec2 jam{50.0, 50.0};
+  EXPECT_EQ(r2.gain_from_point_db(jam, 1, 7), t.gain_from_point_db(jam, 40, 7));
+}
+
+TEST(RestrictedTopology, CulledParentInheritsCullState) {
+  Topology dense = make_campus_topology(200, 7);
+  const double floor_db = gain_cull_floor_db(dense.radio(), 10.0);
+  Topology culled = make_campus_topology_culled(200, 7, floor_db);
+  std::vector<NodeId> members;
+  for (NodeId i = 0; i < 200; i += 7) members.push_back(i);
+  Topology r = culled.restricted(members);
+  ASSERT_TRUE(r.culled());
+  EXPECT_EQ(r.gain_floor_db(), floor_db);
+  const int m = r.size();
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < m; ++j)
+      EXPECT_EQ(r.gain_db(i, j),
+                culled.gain_db(members[static_cast<std::size_t>(i)],
+                               members[static_cast<std::size_t>(j)]));
+}
+
+TEST(RestrictedTopology, RejectsBadMemberLists) {
+  Topology t = make_campus_topology(48, 1);
+  EXPECT_THROW((void)t.restricted({5}), util::RequireError);           // < 2
+  EXPECT_THROW((void)t.restricted({5, 5}), util::RequireError);       // dup
+  EXPECT_THROW((void)t.restricted({9, 5}), util::RequireError);       // order
+  EXPECT_THROW((void)t.restricted({0, 48}), util::RequireError);      // range
+  EXPECT_THROW((void)t.restricted({-1, 0}), util::RequireError);      // range
 }
 
 }  // namespace
