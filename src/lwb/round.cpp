@@ -59,6 +59,9 @@ RoundResult RoundExecutor::run_round(sim::TimeUs start,
   return result;
 }
 
+// All result buffers are assign()ed into recycled capacity (see the comment
+// at the assigns); a reused RoundResult runs the round allocation-free.
+// dimmer-lint: pure(may-allocate)
 void RoundExecutor::run_round_into(sim::TimeUs start,
                                    std::uint64_t round_index,
                                    phy::NodeId coordinator,

@@ -102,7 +102,10 @@ void frame_success_prob_batch(const double* sinr_clean_db,
 namespace {
 
 // One vector chunk of the step-3b reception chain. Pointers index the
-// chunk's first element; lanes are independent listeners.
+// chunk's first element; lanes are independent listeners. The pure()
+// annotation cuts a name-resolution artifact: `vdouble::load` (a register
+// load) shares its name with the allocating `TraceDataset::load`.
+// dimmer-lint: pure(may-allocate)
 inline vdouble reception_chunk(const double* strongest, const double* total,
                                const double* fade, const double* interf,
                                const double* frac, double coherence_gain,

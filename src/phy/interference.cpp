@@ -115,7 +115,8 @@ double WifiInterferer::activity(sim::TimeUs t0, sim::TimeUs t1,
   std::int64_t f0 = w0 / cfg_.frame_us;
   std::int64_t f1 = (w1 - 1) / cfg_.frame_us;
   double occupied = 0.0;
-  for (std::int64_t f = f0; f <= f1; ++f) occupied += frame_overlap(w0, w1, f);
+  for (std::int64_t frame = f0; frame <= f1; ++frame)
+    occupied += frame_overlap(w0, w1, frame);
   return occupied / static_cast<double>(len);
 }
 
@@ -140,11 +141,12 @@ double AmbientInterferer::activity(sim::TimeUs t0, sim::TimeUs t1,
   std::int64_t f0 = t0 / cfg_.frame_us;
   std::int64_t f1 = (t1 - 1) / cfg_.frame_us;
   double occupied = 0.0;
-  for (std::int64_t f = f0; f <= f1; ++f) {
-    sim::TimeUs fstart = f * cfg_.frame_us;
+  for (std::int64_t frame = f0; frame <= f1; ++frame) {
+    sim::TimeUs fstart = frame * cfg_.frame_us;
     double duty = duty_at(fstart);
-    std::uint64_t h = util::hash_u64(cfg_.seed, static_cast<std::uint64_t>(f),
-                                     static_cast<std::uint64_t>(ch));
+    std::uint64_t h =
+        util::hash_u64(cfg_.seed, static_cast<std::uint64_t>(frame),
+                       static_cast<std::uint64_t>(ch));
     // In each frame the channel carries one short burst with probability
     // duty / burst_fraction, preserving the mean occupancy `duty`.
     if (util::pure_uniform(h) >= duty / cfg_.burst_fraction) continue;

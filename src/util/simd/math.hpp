@@ -179,22 +179,22 @@ inline V poly_log2(V x) {
   V e = exponent_part(x);
   V m = mantissa_part(x);
   e = select_lt(m, V::broadcast(kSqrtHalf), e - V::broadcast(1.0), e);
-  const V f = select_lt(m, V::broadcast(kSqrtHalf),
-                        (m + m) - V::broadcast(1.0), m - V::broadcast(1.0));
-  const V z = f * f;
+  const V fr = select_lt(m, V::broadcast(kSqrtHalf),
+                         (m + m) - V::broadcast(1.0), m - V::broadcast(1.0));
+  const V z = fr * fr;
   // p1evl: Q has an implicit leading 1.0.
-  V q = f + V::broadcast(kLogQ[0]);
+  V q = fr + V::broadcast(kLogQ[0]);
   for (std::size_t i = 1; i < 5; ++i) {
-    q = q * f + V::broadcast(kLogQ[i]);
+    q = q * fr + V::broadcast(kLogQ[i]);
   }
-  V y = f * (z * polevl(f, kLogP) / q);
+  V y = fr * (z * polevl(fr, kLogP) / q);
   y = y - V::broadcast(0.5) * z;
-  // Assemble in extended precision: log2(m) = (f + y) * log2(e)
-  //   = y*LOG2EA + f*LOG2EA + y + f, summed smallest-first.
+  // Assemble in extended precision: log2(m) = (fr + y) * log2(e)
+  //   = y*LOG2EA + fr*LOG2EA + y + fr, summed smallest-first.
   V out = y * V::broadcast(kLog2EA);
-  out = out + f * V::broadcast(kLog2EA);
+  out = out + fr * V::broadcast(kLog2EA);
   out = out + y;
-  out = out + f;
+  out = out + fr;
   out = out + e;
   return out;
 }

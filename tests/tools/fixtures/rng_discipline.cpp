@@ -1,0 +1,14 @@
+// rng-discipline fixture: member fork() calls must carry a hash_u64-keyed
+// tag; the POSIX process fork() (no member access) is not the rule's
+// business.
+#include <cstdint>
+
+struct Pcg32;
+std::uint64_t hash_u64(std::uint64_t a, std::uint64_t b);
+
+void forks(Pcg32& root, Pcg32* child, int i) {
+  auto a = root.fork(static_cast<std::uint64_t>(i));
+  auto b = root.fork(hash_u64(7u, static_cast<std::uint64_t>(i)));
+  auto c = child->fork(i);  // NOLINT-DIMMER(rng-discipline)
+  int pid = fork();
+}

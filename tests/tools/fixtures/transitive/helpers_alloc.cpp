@@ -1,0 +1,7 @@
+// Cross-TU transitive fixture: the allocation lives two hops below the
+// chain head. Indexed (never compiled) by the pass-1 tests.
+#include <vector>
+
+void alloc_leaf(std::vector<int>& v) { v.push_back(1); }
+
+void alloc_mid(std::vector<int>& v) { alloc_leaf(v); }

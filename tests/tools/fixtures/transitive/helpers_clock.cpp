@@ -1,0 +1,11 @@
+// Cross-TU transitive fixture: the wall-clock read lives two hops below the
+// chain head.
+#include <chrono>
+
+double clock_leaf() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double clock_mid() { return clock_leaf(); }

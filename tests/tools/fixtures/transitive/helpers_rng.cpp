@@ -1,0 +1,8 @@
+// Cross-TU transitive fixture: the protocol RNG draw lives two hops below
+// the chain head. may-draw-rng must propagate in the index but must NOT fire
+// the transitive hot-path rules (floods draw protocol randomness by design).
+struct Pcg32;
+
+double rng_leaf(Pcg32& rng) { return rng.uniform(); }
+
+double rng_mid(Pcg32& rng) { return rng_leaf(rng); }

@@ -1,0 +1,11 @@
+// Cross-TU transitive fixture: the unordered-container traversal lives two
+// hops below the chain head.
+#include <unordered_map>
+
+int umap_leaf(const std::unordered_map<int, int>& m) {
+  int s = 0;
+  for (const auto& kv : m) s += kv.second;
+  return s;
+}
+
+int umap_mid(const std::unordered_map<int, int>& m) { return umap_leaf(m); }

@@ -1,0 +1,17 @@
+// The hot region that reaches each two-hop chain. Scanned (pass 2) with a
+// call graph built over the transitive/ fixtures; every chain head fires the
+// matching transitive rule here with the full chain in the message.
+#include <unordered_map>
+#include <vector>
+
+struct Pcg32;
+
+void hot_caller(std::vector<int>& v,
+                const std::unordered_map<int, int>& m, Pcg32& rng) {
+  // dimmer-lint: hot-path begin
+  alloc_mid(v);
+  clock_mid();
+  umap_mid(m);
+  rng_mid(rng);
+  // dimmer-lint: hot-path end
+}

@@ -1,0 +1,15 @@
+// pure() trust fixture: the two-hop allocation chain is cut at the mid
+// function, so the hot region below stays clean — and the annotation itself
+// is reported as a suppressed finding at the definition, never hidden.
+#include <vector>
+
+void t_alloc_leaf(std::vector<int>& v) { v.push_back(1); }
+
+// dimmer-lint: pure(may-allocate)
+void t_alloc_mid(std::vector<int>& v) { t_alloc_leaf(v); }
+
+void t_hot(std::vector<int>& v) {
+  // dimmer-lint: hot-path begin
+  t_alloc_mid(v);
+  // dimmer-lint: hot-path end
+}

@@ -1,0 +1,18 @@
+// Virtual-dispatch widening fixture: the hot region calls through the base
+// interface; name resolution conservatively reaches the allocating override.
+#include <vector>
+
+struct Sink {
+  virtual ~Sink() = default;
+  virtual void step(std::vector<int>& v) = 0;
+};
+
+struct GrowingSink final : Sink {
+  void step(std::vector<int>& v) override { v.push_back(1); }
+};
+
+void drive(Sink& s, std::vector<int>& v) {
+  // dimmer-lint: hot-path begin
+  s.step(v);
+  // dimmer-lint: hot-path end
+}

@@ -1,10 +1,17 @@
-// Tests for tools/dimmer-lint: every rule proven to fire on a fixture and to
-// honour its suppression mechanism, the JSON report pinned against a golden
-// file, the shipped baseline proven empty, and — the point of the tool — the
-// real src/, bench/ and examples/ trees proven clean.
+// Tests for tools/dimmer-lint pass 2: every rule proven to fire on a fixture
+// and to honour its suppression mechanism, the JSON report pinned against a
+// golden file, the shipped baseline proven empty, baseline snapshotting
+// (--update-baseline semantics) proven atomic and refusal-safe, the fan-out
+// scanner proven byte-identical for any job count, and — the point of the
+// tool — the real src/, bench/, examples/ and tools/ trees proven clean
+// under the full two-pass (call-graph-aware) analysis.
+//
+// Pass-1 machinery (extractor, fixpoint, cache round-trip) is covered in
+// test_index.cpp.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -12,6 +19,9 @@
 #include <string>
 #include <vector>
 
+#include <sys/wait.h>
+
+#include "index.hpp"
 #include "lint.hpp"
 
 namespace fs = std::filesystem;
@@ -58,13 +68,13 @@ std::string slurp(const std::string& path) {
 // Rule table
 // ---------------------------------------------------------------------------
 
-TEST(LintRules, TableListsAllSevenRules) {
+TEST(LintRules, TableListsAllEightRules) {
   std::vector<std::string> ids;
   for (const auto& r : dimmer::lint::rules()) ids.push_back(r.id);
   const std::vector<std::string> expected = {"det-clock",  "det-umap-iter",
                                              "hot-no-alloc", "fp-accumulate",
                                              "err-swallow", "nodiscard-result",
-                                             "simd-fp-order"};
+                                             "simd-fp-order", "rng-discipline"};
   EXPECT_EQ(ids, expected);
   for (const auto& id : expected) EXPECT_TRUE(dimmer::lint::is_rule(id)) << id;
   EXPECT_FALSE(dimmer::lint::is_rule("no-such-rule"));
@@ -95,15 +105,19 @@ TEST(LintDetClock, IgnoresMembersStringsAndComments) {
   for (const auto& f : fs) EXPECT_LE(f.line, 33) << f.excerpt;
 }
 
-TEST(LintDetClock, ExemptsUtilAndToolsPrefixes) {
+TEST(LintDetClock, ExemptsOnlyTheUtilSeam) {
   const std::string src = slurp(fixture_path("clock_violation.cpp"));
   EXPECT_FALSE(src.empty());
   // The same content reported under src/util/ produces zero det-clock
   // findings: the wall-clock wrapper lives there by design.
   auto util_fs = dimmer::lint::scan_source("src/util/wallclock_fixture.cpp", src);
   EXPECT_EQ(count_rule(util_fs, "det-clock"), 0);
+  // tools/ is NOT exempt any more: the lint tool lints itself in CI, so the
+  // rule fires there exactly as it does anywhere else.
   auto tools_fs = dimmer::lint::scan_source("tools/dimmer-lint/fixture.cpp", src);
-  EXPECT_EQ(count_rule(tools_fs, "det-clock"), 0);
+  auto core_fs = dimmer::lint::scan_source("src/core/fixture.cpp", src);
+  EXPECT_GT(count_rule(tools_fs, "det-clock"), 0);
+  EXPECT_EQ(count_rule(tools_fs, "det-clock"), count_rule(core_fs, "det-clock"));
 }
 
 // ---------------------------------------------------------------------------
@@ -214,6 +228,71 @@ TEST(LintNodiscard, FiresOnUnattributedResultStructOnly) {
 }
 
 // ---------------------------------------------------------------------------
+// rng-discipline
+// ---------------------------------------------------------------------------
+
+TEST(LintRngDiscipline, UnkeyedMemberForkFiresKeyedAndPosixClean) {
+  auto fs = scan_fixture("rng_discipline.cpp");
+  // root.fork(cast) has no hash_u64 tag; the keyed fork on the next line and
+  // the POSIX process fork() (no member access) are both clean.
+  auto active = lines_of(fs, "rng-discipline", /*suppressed=*/false);
+  EXPECT_EQ(active, (std::vector<int>{10}));
+  auto suppressed = lines_of(fs, "rng-discipline", /*suppressed=*/true);
+  EXPECT_EQ(suppressed, (std::vector<int>{12}));
+  EXPECT_EQ(count_rule(fs, "rng-discipline"), 2);
+}
+
+TEST(LintRngDiscipline, ProtocolToConsumerPcgFlowFires) {
+  // A protocol-module call into a consumer-module function whose signature
+  // takes a Pcg32 is flagged; the consumer file itself is not (the rule
+  // polices the protocol side of the boundary).
+  const std::string consumer =
+      "struct Pcg32;\n"
+      "double consume_noise(Pcg32& rng) { return 0.0; }\n";
+  const std::string proto =
+      "struct Pcg32;\n"
+      "void run_round(Pcg32& rng) { consume_noise(rng); }\n";
+  std::vector<dimmer::lint::FileIndex> idx;
+  idx.push_back(dimmer::lint::index_source("src/fault/consumer.cpp", consumer));
+  idx.push_back(dimmer::lint::index_source("src/flood/proto.cpp", proto));
+  auto graph = dimmer::lint::build_call_graph(idx);
+
+  auto fs = dimmer::lint::scan_source("src/flood/proto.cpp", proto, Options(),
+                                      &graph);
+  auto active = lines_of(fs, "rng-discipline", /*suppressed=*/false);
+  ASSERT_EQ(active, (std::vector<int>{2}));
+  for (const auto& f : fs) {
+    if (f.rule == "rng-discipline") {
+      EXPECT_NE(f.message.find("consume_noise"), std::string::npos)
+          << f.message;
+    }
+  }
+
+  auto cfs = dimmer::lint::scan_source("src/fault/consumer.cpp", consumer,
+                                       Options(), &graph);
+  EXPECT_EQ(count_rule(cfs, "rng-discipline"), 0);
+}
+
+TEST(LintRngDiscipline, FlowOutsideProtocolModulesIsClean) {
+  // The identical call is legal from a non-protocol path: consumer-to-
+  // consumer handoff of an RNG stream is exactly how fault plans own their
+  // forks.
+  const std::string consumer =
+      "struct Pcg32;\n"
+      "double consume_noise(Pcg32& rng) { return 0.0; }\n";
+  const std::string other =
+      "struct Pcg32;\n"
+      "void drive(Pcg32& rng) { consume_noise(rng); }\n";
+  std::vector<dimmer::lint::FileIndex> idx;
+  idx.push_back(dimmer::lint::index_source("src/fault/consumer.cpp", consumer));
+  idx.push_back(dimmer::lint::index_source("src/exp/driver.cpp", other));
+  auto graph = dimmer::lint::build_call_graph(idx);
+  auto fs = dimmer::lint::scan_source("src/exp/driver.cpp", other, Options(),
+                                      &graph);
+  EXPECT_EQ(count_rule(fs, "rng-discipline"), 0);
+}
+
+// ---------------------------------------------------------------------------
 // Suppression semantics
 // ---------------------------------------------------------------------------
 
@@ -272,6 +351,98 @@ TEST(LintBaseline, MissingFileYieldsEmptySet) {
   EXPECT_TRUE(dimmer::lint::load_baseline("/nonexistent/baseline").empty());
 }
 
+TEST(LintBaseline, KeySurvivesReindentation) {
+  // The excerpt is whitespace-normalized before hashing, so a pure
+  // reformatting pass (re-indentation, alignment churn) keeps every
+  // baselined key stable.
+  const std::string a = "int f() { return std::rand(); }\n";
+  const std::string b = "      int   f()  {  return   std::rand();   }\n";
+  auto fa = dimmer::lint::scan_source("x.cpp", a);
+  auto fb = dimmer::lint::scan_source("x.cpp", b);
+  ASSERT_EQ(fa.size(), 1u);
+  ASSERT_EQ(fb.size(), 1u);
+  EXPECT_NE(fa[0].excerpt, fb[0].excerpt);
+  EXPECT_EQ(dimmer::lint::baseline_key(fa[0]),
+            dimmer::lint::baseline_key(fb[0]));
+}
+
+TEST(LintBaseline, NormalizeWsCollapsesRunsAndTrims) {
+  EXPECT_EQ(dimmer::lint::normalize_ws("  a \t b\r\n  c  "), "a b c");
+  EXPECT_EQ(dimmer::lint::normalize_ws(""), "");
+  EXPECT_EQ(dimmer::lint::normalize_ws(" \t "), "");
+}
+
+// ---------------------------------------------------------------------------
+// --update-baseline semantics: sorted/deduped snapshot, written atomically,
+// refused outright when the scan itself is broken.
+// ---------------------------------------------------------------------------
+
+TEST(LintUpdateBaseline, WritesSortedDedupedKeys) {
+  const fs::path out = fs::temp_directory_path() / "dimmer_lint_ub1.txt";
+  fs::remove(out);
+  // Two distinct findings plus a duplicate (the same line content repeated
+  // further down hashes to the same key) and a suppressed one that must NOT
+  // be snapshotted.
+  auto findings = dimmer::lint::scan_source(
+      "src/core/b.cpp",
+      "int f() { return std::rand(); }\n"
+      "int g() { return std::rand(); }\n"
+      "int f() { return std::rand(); }\n"
+      "int h() { return std::rand(); }  // NOLINT-DIMMER\n");
+  ASSERT_EQ(findings.size(), 4u);
+  ASSERT_TRUE(dimmer::lint::update_baseline(findings, out.string()));
+  auto keys = dimmer::lint::load_baseline(out.string());
+  // f and g have different excerpts -> two keys (the repeated f line dedupes
+  // into the first); the suppressed h is absent.
+  EXPECT_EQ(keys.size(), 2u);
+  for (const auto& k : keys)
+    EXPECT_EQ(k.find("src/core/b.cpp|det-clock|"), 0u) << k;
+  // The on-disk order is sorted (load_baseline's set would hide that).
+  std::string text = slurp(out.string());
+  std::vector<std::string> lines;
+  std::stringstream ss(text);
+  std::string l;
+  while (std::getline(ss, l))
+    if (!l.empty() && l[0] != '#') lines.push_back(l);
+  EXPECT_TRUE(std::is_sorted(lines.begin(), lines.end()));
+  fs::remove(out);
+}
+
+TEST(LintUpdateBaseline, RoundTripSilencesTheGate) {
+  const fs::path out = fs::temp_directory_path() / "dimmer_lint_ub2.txt";
+  fs::remove(out);
+  const std::string src = "int f() { return std::rand(); }\n";
+  auto findings = dimmer::lint::scan_source("src/core/c.cpp", src);
+  ASSERT_TRUE(dimmer::lint::has_active(findings));
+  ASSERT_TRUE(dimmer::lint::update_baseline(findings, out.string()));
+  auto again = dimmer::lint::scan_source("src/core/c.cpp", src);
+  dimmer::lint::apply_baseline(again, dimmer::lint::load_baseline(out.string()));
+  EXPECT_FALSE(dimmer::lint::has_active(again));
+  fs::remove(out);
+}
+
+TEST(LintUpdateBaseline, RefusesOnParseErrorAndLeavesTargetUntouched) {
+  const fs::path out = fs::temp_directory_path() / "dimmer_lint_ub3.txt";
+  {
+    std::ofstream prev(out);
+    prev << "# sentinel\nexisting|det-clock|0\n";
+  }
+  // An unterminated hot-path region is a parse error: the scan cannot be
+  // trusted as a complete picture, so snapshotting must refuse.
+  auto findings = dimmer::lint::scan_source(
+      "src/core/d.cpp", "// dimmer-lint: hot-path begin\nint x;\n");
+  ASSERT_FALSE(findings.empty());
+  EXPECT_FALSE(dimmer::lint::update_baseline(findings, out.string()));
+  EXPECT_NE(slurp(out.string()).find("sentinel"), std::string::npos)
+      << "refusal must leave the existing baseline byte-identical";
+  fs::remove(out);
+}
+
+TEST(LintUpdateBaseline, AtomicWriteRefusesUnwritableDirectory) {
+  EXPECT_FALSE(dimmer::lint::write_file_atomic(
+      "/nonexistent-dir/deeper/baseline.txt", "x\n"));
+}
+
 // ---------------------------------------------------------------------------
 // JSON report
 // ---------------------------------------------------------------------------
@@ -292,38 +463,73 @@ TEST(LintReport, IsByteDeterministic) {
 
 // ---------------------------------------------------------------------------
 // The repo itself is clean (the static mirror of the jobs=1-vs-8 BENCH
-// byte-identity checks). Scans the real src/, bench/ and examples/ trees.
+// byte-identity checks). Scans the real src/, bench/, examples/ and tools/
+// trees under the full two-pass analysis: call graph built over every file,
+// transitive and rng-discipline rules on.
 // ---------------------------------------------------------------------------
 
-TEST(LintRepo, SrcBenchExamplesHaveNoActiveFindings) {
+namespace {
+
+// Loads the repo's lintable files (the same input set CI hands the CLI),
+// reported under repo-relative paths.
+std::vector<dimmer::lint::SourceFile> repo_sources() {
   const fs::path root = DIMMER_LINT_REPO_ROOT;
-  std::vector<std::string> files;
-  for (const char* dir : {"src", "bench", "examples"}) {
+  std::vector<std::string> paths;
+  for (const char* dir : {"src", "bench", "examples", "tools"}) {
     for (auto it = fs::recursive_directory_iterator(root / dir);
          it != fs::recursive_directory_iterator(); ++it) {
       if (!it->is_regular_file()) continue;
       auto ext = it->path().extension().string();
       if (ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h")
-        files.push_back(it->path().string());
+        paths.push_back(it->path().string());
     }
   }
-  std::sort(files.begin(), files.end());
+  std::sort(paths.begin(), paths.end());
+  std::vector<dimmer::lint::SourceFile> files;
+  for (const auto& p : paths)
+    files.push_back({fs::relative(p, root).generic_string(), slurp(p)});
+  return files;
+}
+
+dimmer::lint::CallGraph repo_graph(
+    const std::vector<dimmer::lint::SourceFile>& files) {
+  std::vector<dimmer::lint::FileIndex> idx;
+  for (const auto& f : files)
+    idx.push_back(dimmer::lint::index_source(f.path, f.contents));
+  return dimmer::lint::build_call_graph(std::move(idx));
+}
+
+}  // namespace
+
+TEST(LintRepo, SrcBenchExamplesToolsHaveNoActiveFindings) {
+  auto files = repo_sources();
   ASSERT_GT(files.size(), 50u);  // sanity: we really walked the tree
+  auto graph = repo_graph(files);
   auto baseline = dimmer::lint::load_baseline(DIMMER_LINT_BASELINE_FILE);
+  auto found = dimmer::lint::scan_sources(files, Options(), &graph, 4);
+  dimmer::lint::apply_baseline(found, baseline);
   int active = 0;
-  for (const auto& f : files) {
-    auto rel = fs::relative(f, root).generic_string();
-    auto found = dimmer::lint::scan_file(f, rel);
-    dimmer::lint::apply_baseline(found, baseline);
-    for (const auto& d : found) {
-      if (!d.suppressed && !d.baselined) {
-        ++active;
-        ADD_FAILURE() << rel << ":" << d.line << ": [" << d.rule << "] "
-                      << d.message;
-      }
+  for (const auto& d : found) {
+    if (!d.suppressed && !d.baselined) {
+      ++active;
+      ADD_FAILURE() << d.file << ":" << d.line << ": [" << d.rule << "] "
+                    << d.message;
     }
   }
   EXPECT_EQ(active, 0);
+}
+
+TEST(LintRepo, ReportIsByteIdenticalForAnyJobCount) {
+  // scan_sources merges per-file results in input order, so the JSON report
+  // must be byte-identical whether pass 2 ran on one thread or eight — the
+  // static-analysis mirror of the shards=1-vs-N campaign identity.
+  auto files = repo_sources();
+  auto graph = repo_graph(files);
+  auto r1 = dimmer::lint::json_report(
+      dimmer::lint::scan_sources(files, Options(), &graph, 1));
+  auto r8 = dimmer::lint::json_report(
+      dimmer::lint::scan_sources(files, Options(), &graph, 8));
+  EXPECT_EQ(r1, r8);
 }
 
 // A seeded violation MUST make the gate fail — proves the CI job is not
@@ -335,4 +541,57 @@ TEST(LintRepo, SeededViolationFailsTheGate) {
       "double t() { return std::chrono::steady_clock::now()"
       ".time_since_epoch().count(); }\n");
   EXPECT_TRUE(dimmer::lint::has_active(fs));
+}
+
+// ---------------------------------------------------------------------------
+// The CLI end to end: a seeded *transitive* violation in a temp tree makes
+// the real binary exit 1 and name the call chain; a second (warm-cache) run
+// produces a byte-identical JSON report.
+// ---------------------------------------------------------------------------
+
+TEST(LintCli, SeededTransitiveViolationExitsOneNamingTheChain) {
+  const fs::path root = fs::temp_directory_path() / "dimmer_lint_gate";
+  fs::remove_all(root);
+  fs::create_directories(root / "src/core");
+  fs::create_directories(root / "src/flood");
+  {
+    std::ofstream h(root / "src/core/helper.cpp");
+    h << "#include <vector>\n"
+         "void helper_leaf(std::vector<int>& v) { v.push_back(1); }\n"
+         "void helper_mid(std::vector<int>& v) { helper_leaf(v); }\n";
+    std::ofstream hot(root / "src/flood/hot.cpp");
+    hot << "#include <vector>\n"
+           "void kernel(std::vector<int>& v) {\n"
+           "  // dimmer-lint: hot-path begin\n"
+           "  helper_mid(v);\n"
+           "  // dimmer-lint: hot-path end\n"
+           "}\n";
+  }
+  const std::string exe = DIMMER_LINT_EXE;
+  const std::string base = "cd " + root.string() + " && " + exe +
+                           " --root . --index-cache cache.txt";
+  auto run = [&](const std::string& tail) {
+    int st = std::system((base + " " + tail).c_str());
+    return WIFEXITED(st) ? WEXITSTATUS(st) : -1;
+  };
+  // Cold run: exit 1, chain named on stderr/stdout.
+  EXPECT_EQ(run("--json r1.json src > out1.txt 2>&1"), 1);
+  const std::string out = slurp((root / "out1.txt").string());
+  EXPECT_NE(out.find("hot-no-alloc"), std::string::npos) << out;
+  EXPECT_NE(out.find("helper_mid -> helper_leaf"), std::string::npos) << out;
+  EXPECT_NE(out.find("`push_back` at src/core/helper.cpp:2"),
+            std::string::npos)
+      << out;
+  // Warm-cache rerun: same exit, byte-identical report.
+  ASSERT_TRUE(fs::exists(root / "cache.txt"));
+  EXPECT_EQ(run("--json r2.json src > out2.txt 2>&1"), 1);
+  EXPECT_EQ(slurp((root / "r1.json").string()),
+            slurp((root / "r2.json").string()));
+  EXPECT_FALSE(slurp((root / "r1.json").string()).empty());
+  // --update-baseline snapshots the violation, after which the gate passes.
+  EXPECT_EQ(run("--baseline accepted.txt --update-baseline src "
+                "> /dev/null 2>&1"),
+            0);
+  EXPECT_EQ(run("--baseline accepted.txt src > /dev/null 2>&1"), 0);
+  fs::remove_all(root);
 }

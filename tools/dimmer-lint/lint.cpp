@@ -1,11 +1,19 @@
 #include "lint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <thread>
 
+#include "index.hpp"
+#include "scan.hpp"
 #include "util/json.hpp"
 
 namespace dimmer::lint {
@@ -23,6 +31,7 @@ const char* kFpAccumulate = "fp-accumulate";
 const char* kErrSwallow = "err-swallow";
 const char* kNodiscardResult = "nodiscard-result";
 const char* kSimdFpOrder = "simd-fp-order";
+const char* kRngDiscipline = "rng-discipline";
 
 }  // namespace
 
@@ -30,13 +39,16 @@ const std::vector<Rule>& rules() {
   static const std::vector<Rule> kRules = {
       {kDetClock,
        "wall-clock / ambient randomness outside src/util/ (use forked "
-       "util::Pcg32 and util/wallclock.hpp)"},
+       "util::Pcg32 and util/wallclock.hpp); with a call graph, also fires "
+       "when a hot-path region reaches a clock read transitively"},
       {kDetUmapIter,
        "iteration over std::unordered_map/unordered_set: order is "
        "implementation-defined (use std::map, sorted keys, or lookups only)"},
       {kHotNoAlloc,
        "allocation or container growth inside a `dimmer-lint: hot-path` "
-       "region (the zero-allocation flood loop)"},
+       "region (the zero-allocation flood loop); with a call graph, also "
+       "fires when the region reaches an allocating function through any "
+       "call chain"},
       {kFpAccumulate,
        "library floating-point reduction: make the summation order an "
        "explicit loop or annotate `dimmer-lint: fp-order-ok`"},
@@ -49,6 +61,11 @@ const std::vector<Rule>& rules() {
        "cross-lane SIMD reduction inside a hot-path region: lane order "
        "changes floating-point results; keep reductions lanewise or annotate "
        "`dimmer-lint: simd-fp-order-ok`"},
+      {kRngDiscipline,
+       "RNG fork without a hash_u64-keyed tag, or a protocol-module "
+       "(core/lwb/flood/rl) call into a fault/exp/bench function whose "
+       "signature takes util::Pcg32: consumer randomness must never perturb "
+       "protocol lockstep"},
   };
   return kRules;
 }
@@ -62,314 +79,6 @@ bool is_rule(const std::string& id) {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Phase 1: split source into per-line code and comment channels.
-//
-// String and character literal *contents* are blanked (quotes kept) so token
-// scans never fire on, e.g., a log message mentioning "mt19937"; comment text
-// is captured separately because that is where the directive and suppression
-// syntax lives. Columns are preserved (blanking writes spaces).
-// ---------------------------------------------------------------------------
-
-struct LineInfo {
-  std::string code;
-  std::string comment;
-};
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-std::vector<LineInfo> split_channels(const std::string& src) {
-  enum class St { kCode, kLineComment, kBlockComment, kStr, kChr, kRawStr };
-  std::vector<LineInfo> lines(1);
-  St st = St::kCode;
-  std::string raw_end;  // ")delim\"" terminator while in kRawStr
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    char c = src[i];
-    char n = i + 1 < src.size() ? src[i + 1] : '\0';
-    if (c == '\n') {
-      if (st == St::kLineComment) st = St::kCode;
-      // Unterminated string/char literals do not really span lines in valid
-      // C++; reset so one bad line cannot blank the rest of the file.
-      if (st == St::kStr || st == St::kChr) st = St::kCode;
-      lines.emplace_back();
-      continue;
-    }
-    LineInfo& line = lines.back();
-    switch (st) {
-      case St::kCode:
-        if (c == '/' && n == '/') {
-          st = St::kLineComment;
-          ++i;
-        } else if (c == '/' && n == '*') {
-          st = St::kBlockComment;
-          line.code += "  ";
-          ++i;
-        } else if (c == '"') {
-          bool raw = !line.code.empty() && line.code.back() == 'R';
-          if (raw) {
-            std::string delim;
-            std::size_t j = i + 1;
-            while (j < src.size() && src[j] != '(' && src[j] != '\n')
-              delim += src[j++];
-            raw_end = ")" + delim + "\"";
-            st = St::kRawStr;
-            line.code += '"';
-            i = j;  // consume up to and including '('
-          } else {
-            st = St::kStr;
-            line.code += '"';
-          }
-        } else if (c == '\'') {
-          // Digit separator (1'000) vs character literal.
-          bool sep = !line.code.empty() &&
-                     std::isalnum(static_cast<unsigned char>(line.code.back())) &&
-                     std::isalnum(static_cast<unsigned char>(n));
-          if (sep) {
-            line.code += c;
-          } else {
-            st = St::kChr;
-            line.code += '\'';
-          }
-        } else {
-          line.code += c;
-        }
-        break;
-      case St::kLineComment:
-        line.comment += c;
-        break;
-      case St::kBlockComment:
-        if (c == '*' && n == '/') {
-          st = St::kCode;
-          ++i;
-        } else {
-          line.comment += c;
-        }
-        break;
-      case St::kStr:
-        if (c == '\\') {
-          line.code += ' ';
-          if (n != '\0' && n != '\n') {
-            line.code += ' ';
-            ++i;
-          }
-        } else if (c == '"') {
-          line.code += '"';
-          st = St::kCode;
-        } else {
-          line.code += ' ';
-        }
-        break;
-      case St::kChr:
-        if (c == '\\') {
-          line.code += ' ';
-          if (n != '\0' && n != '\n') {
-            line.code += ' ';
-            ++i;
-          }
-        } else if (c == '\'') {
-          line.code += '\'';
-          st = St::kCode;
-        } else {
-          line.code += ' ';
-        }
-        break;
-      case St::kRawStr:
-        if (src.compare(i, raw_end.size(), raw_end) == 0) {
-          line.code += '"';
-          i += raw_end.size() - 1;
-          st = St::kCode;
-        } else {
-          line.code += c == '\t' ? '\t' : ' ';
-        }
-        break;
-    }
-  }
-  return lines;
-}
-
-// ---------------------------------------------------------------------------
-// Phase 2: token stream (identifiers/numbers as words, everything else as
-// single-character punctuation).
-// ---------------------------------------------------------------------------
-
-struct Tok {
-  std::string text;
-  int line = 0;  // 1-based
-};
-
-std::vector<Tok> tokenize(const std::vector<LineInfo>& lines) {
-  std::vector<Tok> toks;
-  for (std::size_t li = 0; li < lines.size(); ++li) {
-    const std::string& code = lines[li].code;
-    std::size_t i = 0;
-    while (i < code.size()) {
-      char c = code[i];
-      if (std::isspace(static_cast<unsigned char>(c))) {
-        ++i;
-        continue;
-      }
-      if (is_ident_char(c)) {
-        std::size_t j = i;
-        while (j < code.size() && is_ident_char(code[j])) ++j;
-        toks.push_back({code.substr(i, j - i), static_cast<int>(li + 1)});
-        i = j;
-      } else {
-        toks.push_back({std::string(1, c), static_cast<int>(li + 1)});
-        ++i;
-      }
-    }
-  }
-  return toks;
-}
-
-// ---------------------------------------------------------------------------
-// Directives and suppressions (live in the comment channel)
-// ---------------------------------------------------------------------------
-
-struct Directives {
-  std::vector<bool> hot;    // per line (1-based index): inside hot-path region
-  std::vector<bool> fp_ok;  // line carries `dimmer-lint: fp-order-ok`
-  std::vector<bool> simd_ok;  // line carries `dimmer-lint: simd-fp-order-ok`
-  std::vector<Finding> region_errors;  // unbalanced begin/end
-};
-
-bool comment_has(const std::string& comment, const std::string& what) {
-  return comment.find(what) != std::string::npos;
-}
-
-Directives scan_directives(const std::string& path,
-                           const std::vector<LineInfo>& lines) {
-  Directives d;
-  d.hot.assign(lines.size() + 2, false);
-  d.fp_ok.assign(lines.size() + 2, false);
-  d.simd_ok.assign(lines.size() + 2, false);
-  int begin_line = -1;
-  for (std::size_t li = 0; li < lines.size(); ++li) {
-    const std::string& c = lines[li].comment;
-    int ln = static_cast<int>(li + 1);
-    if (comment_has(c, "dimmer-lint: fp-order-ok")) d.fp_ok[li + 1] = true;
-    if (comment_has(c, "dimmer-lint: simd-fp-order-ok"))
-      d.simd_ok[li + 1] = true;
-    if (comment_has(c, "dimmer-lint: hot-path begin")) {
-      if (begin_line >= 0)
-        d.region_errors.push_back({path, ln, kHotNoAlloc,
-                                   "nested `hot-path begin` (previous region "
-                                   "opened on line " +
-                                       std::to_string(begin_line) + ")",
-                                   "", false, false});
-      begin_line = ln;
-    } else if (comment_has(c, "dimmer-lint: hot-path end")) {
-      if (begin_line < 0) {
-        d.region_errors.push_back({path, ln, kHotNoAlloc,
-                                   "`hot-path end` without a matching begin",
-                                   "", false, false});
-      } else {
-        for (int k = begin_line + 1; k < ln; ++k) d.hot[k] = true;
-        begin_line = -1;
-      }
-    }
-  }
-  if (begin_line >= 0)
-    d.region_errors.push_back(
-        {path, begin_line, kHotNoAlloc,
-         "unterminated `hot-path begin` region", "", false, false});
-  return d;
-}
-
-// Parses "NOLINT-DIMMER" / "NOLINTNEXTLINE-DIMMER" with an optional
-// parenthesized rule list out of one line's comment text. Returns true if
-// `rule` is suppressed by `marker` in `comment`.
-bool marker_suppresses(const std::string& comment, const std::string& marker,
-                       const std::string& rule) {
-  std::size_t pos = comment.find(marker);
-  if (pos == std::string::npos) return false;
-  std::size_t after = pos + marker.size();
-  // Bare marker (no rule list) suppresses everything.
-  if (after >= comment.size() || comment[after] != '(') return true;
-  std::size_t close = comment.find(')', after);
-  std::string list = comment.substr(
-      after + 1, close == std::string::npos ? std::string::npos
-                                            : close - after - 1);
-  std::stringstream ss(list);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    std::size_t b = item.find_first_not_of(" \t");
-    std::size_t e = item.find_last_not_of(" \t");
-    if (b == std::string::npos) continue;
-    if (item.substr(b, e - b + 1) == rule) return true;
-  }
-  return false;
-}
-
-bool line_suppressed(const std::vector<LineInfo>& lines, int line,
-                     const std::string& rule) {
-  // NOLINTNEXTLINE-DIMMER contains no "NOLINT-DIMMER" substring, so the two
-  // markers cannot shadow each other.
-  if (line >= 1 && line <= static_cast<int>(lines.size()) &&
-      marker_suppresses(lines[line - 1].comment, "NOLINT-DIMMER", rule))
-    return true;
-  if (line >= 2 &&
-      marker_suppresses(lines[line - 2].comment, "NOLINTNEXTLINE-DIMMER",
-                        rule))
-    return true;
-  return false;
-}
-
-// ---------------------------------------------------------------------------
-// Shared token helpers
-// ---------------------------------------------------------------------------
-
-const std::string& tok_at(const std::vector<Tok>& t, std::size_t i) {
-  static const std::string kEmpty;
-  return i < t.size() ? t[i].text : kEmpty;
-}
-
-// True if toks[i] is preceded by "::" (with or without a leading "std").
-bool colon_qualified(const std::vector<Tok>& t, std::size_t i) {
-  return i >= 2 && tok_at(t, i - 1) == ":" && tok_at(t, i - 2) == ":";
-}
-
-// True if toks[i] is accessed as a member (`.x`, `->x`).
-bool member_access(const std::vector<Tok>& t, std::size_t i) {
-  if (i >= 1 && tok_at(t, i - 1) == ".") return true;
-  return i >= 2 && tok_at(t, i - 1) == ">" && tok_at(t, i - 2) == "-";
-}
-
-// Index just past a balanced template argument list starting at toks[i]
-// (which must be "<"); returns i if it does not look like one.
-std::size_t skip_template_args(const std::vector<Tok>& t, std::size_t i) {
-  if (tok_at(t, i) != "<") return i;
-  int depth = 0;
-  for (std::size_t j = i; j < t.size(); ++j) {
-    if (t[j].text == "<") ++depth;
-    if (t[j].text == ">") {
-      if (--depth == 0) return j + 1;
-    }
-    if (t[j].text == ";" || t[j].text == "{") break;  // not a template list
-  }
-  return i;
-}
-
-std::string trimmed_line(const std::string& src_line) {
-  std::size_t b = src_line.find_first_not_of(" \t");
-  if (b == std::string::npos) return "";
-  std::size_t e = src_line.find_last_not_of(" \t\r");
-  return src_line.substr(b, e - b + 1);
-}
-
-bool has_prefix(const std::string& s, const std::string& prefix) {
-  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
-}
-
-// Normalizes separators and strips leading "./" for prefix matching.
-std::string norm_path(std::string p) {
-  std::replace(p.begin(), p.end(), '\\', '/');
-  while (has_prefix(p, "./")) p.erase(0, 2);
-  return p;
-}
-
-// ---------------------------------------------------------------------------
 // Rule: det-clock
 // ---------------------------------------------------------------------------
 
@@ -379,26 +88,11 @@ void rule_det_clock(const std::string& path, const std::vector<Tok>& toks,
   for (const std::string& prefix : opt.clock_exempt_prefixes)
     if (has_prefix(np, prefix) || np.find("/" + prefix) != std::string::npos)
       return;
-  static const std::set<std::string> kBareBad = {
-      "steady_clock",   "system_clock",  "high_resolution_clock",
-      "random_device",  "mt19937",       "mt19937_64",
-      "minstd_rand",    "minstd_rand0",  "default_random_engine",
-      "ranlux24_base",  "ranlux48_base", "knuth_b",
-      "gettimeofday",   "timespec_get",  "localtime",
-      "gmtime",         "clock_gettime",
-      // Sleeps: a thread that waits out wall time is reading the ambient
-      // clock with extra steps. Supervision code (the campaign engine's
-      // respawn backoff and poll loops) goes through util::sleep_seconds,
-      // which lives in the audited src/util/ seam like every clock read.
-      "sleep_for",      "sleep_until",   "usleep",
-      "nanosleep"};
-  // Short, collision-prone names: only flagged when "::"-qualified or used
-  // as a bare call (`time(nullptr)`), never as members of other objects.
-  static const std::set<std::string> kQualBad = {"rand", "srand", "time",
-                                                 "clock", "sleep"};
+  const std::set<std::string>& bare = clock_bare_tokens();
+  const std::set<std::string>& qual = clock_qual_tokens();
   for (std::size_t i = 0; i < toks.size(); ++i) {
     const std::string& t = toks[i].text;
-    if (kBareBad.count(t)) {
+    if (bare.count(t)) {
       out->push_back({path, toks[i].line, kDetClock,
                       "`" + t +
                           "` outside src/util/: route timing through "
@@ -407,7 +101,7 @@ void rule_det_clock(const std::string& path, const std::vector<Tok>& toks,
                       "", false, false});
       continue;
     }
-    if (!kQualBad.count(t)) continue;
+    if (!qual.count(t)) continue;
     bool qualified = colon_qualified(toks, i);
     bool bare_call = tok_at(toks, i + 1) == "(" && !member_access(toks, i) &&
                      !qualified && tok_at(toks, i - 1) != ":";
@@ -420,15 +114,17 @@ void rule_det_clock(const std::string& path, const std::vector<Tok>& toks,
   }
 }
 
+}  // namespace
+
 // ---------------------------------------------------------------------------
-// Rule: det-umap-iter
+// Rule: det-umap-iter (namespace-scope: pass 1 reuses it for the
+// may-iterate-unordered direct evidence, see scan.hpp)
 // ---------------------------------------------------------------------------
 
-void rule_det_umap_iter(const std::string& path, const std::vector<Tok>& toks,
-                        std::vector<Finding>* out) {
-  static const std::set<std::string> kUnorderedKw = {
-      "unordered_map", "unordered_set", "unordered_multimap",
-      "unordered_multiset"};
+void detail_rule_det_umap_iter(const std::string& path,
+                               const std::vector<Tok>& toks,
+                               std::vector<Finding>* out) {
+  const std::set<std::string>& kUnorderedKw = unordered_tokens();
   // Pass A: `using Alias = ... unordered_map<...> ...;`
   std::set<std::string> aliases;
   for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
@@ -503,16 +199,15 @@ void rule_det_umap_iter(const std::string& path, const std::vector<Tok>& toks,
   }
 }
 
+namespace {
+
 // ---------------------------------------------------------------------------
 // Rule: hot-no-alloc
 // ---------------------------------------------------------------------------
 
 void rule_hot_no_alloc(const std::string& path, const std::vector<Tok>& toks,
                        const Directives& dir, std::vector<Finding>* out) {
-  static const std::set<std::string> kGrowers = {
-      "make_unique",  "make_shared",   "push_back", "emplace_back",
-      "push_front",   "emplace_front", "emplace",   "insert",
-      "resize",       "reserve",       "assign",    "append"};
+  const std::set<std::string>& kGrowers = grower_tokens();
   for (std::size_t i = 0; i < toks.size(); ++i) {
     int line = toks[i].line;
     if (line >= static_cast<int>(dir.hot.size()) || !dir.hot[line]) continue;
@@ -613,15 +308,7 @@ void rule_err_swallow(const std::string& path, const std::vector<Tok>& toks,
                       std::vector<Finding>* out) {
   for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
     if (toks[i].text != "catch" || tok_at(toks, i + 1) != "(") continue;
-    int depth = 0;
-    std::size_t close = 0;
-    for (std::size_t j = i + 1; j < toks.size(); ++j) {
-      if (toks[j].text == "(") ++depth;
-      if (toks[j].text == ")" && --depth == 0) {
-        close = j;
-        break;
-      }
-    }
+    std::size_t close = match_paren(toks, i + 1);
     if (close == 0) continue;
     bool catch_all = close == i + 5 && tok_at(toks, i + 2) == "." &&
                      tok_at(toks, i + 3) == "." && tok_at(toks, i + 4) == ".";
@@ -672,6 +359,152 @@ void rule_nodiscard_result(const std::string& path,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: rng-discipline
+// ---------------------------------------------------------------------------
+
+enum class Module { kProtocol, kConsumer, kOther };
+
+Module module_of(const std::string& path) {
+  std::string np = norm_path(path);
+  auto in = [&](const char* prefix) {
+    return has_prefix(np, prefix) ||
+           np.find(std::string("/") + prefix) != std::string::npos;
+  };
+  if (in("src/core/") || in("src/lwb/") || in("src/flood/") || in("src/rl/"))
+    return Module::kProtocol;
+  if (in("src/fault/") || in("src/exp/") || in("bench/"))
+    return Module::kConsumer;
+  return Module::kOther;
+}
+
+void rule_rng_discipline(const std::string& path, const std::vector<Tok>& toks,
+                         const CallGraph* graph, std::vector<Finding>* out) {
+  // (a) Member fork calls must carry a hash_u64-keyed tag. Requiring member
+  // access (`rng.fork(`, `rng->fork(`) excludes the POSIX process `::fork()`.
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].text != "fork" || !member_access(toks, i) ||
+        tok_at(toks, i + 1) != "(")
+      continue;
+    std::size_t close = match_paren(toks, i + 1);
+    bool keyed = false;
+    for (std::size_t j = i + 2; close != 0 && j < close; ++j)
+      if (toks[j].text == "hash_u64") keyed = true;
+    if (!keyed)
+      out->push_back(
+          {path, toks[i].line, kRngDiscipline,
+           "RNG `fork()` without a `hash_u64`-keyed tag: fork as "
+           "`rng.fork(util::hash_u64(a, b))` so stream identity is a pure "
+           "function of (parent seed, tag), never of draw order or loop "
+           "position",
+           "", false, false});
+  }
+  // (b) Protocol modules must not hand RNG streams into consumer-module
+  // signatures. Name-resolved against the call graph: a call in
+  // core/lwb/flood/rl to any indexed function defined under fault/, exp/ or
+  // bench/ that takes a util::Pcg32 parameter is flagged, conservatively.
+  if (graph == nullptr || module_of(path) != Module::kProtocol) return;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t.empty() || !is_ident_char(t[0]) ||
+        std::isdigit(static_cast<unsigned char>(t[0])))
+      continue;
+    if (is_cpp_keyword(t) || tok_at(toks, i + 1) != "(") continue;
+    const std::vector<int>* nodes = graph->lookup(t);
+    if (nodes == nullptr) continue;
+    for (int node : *nodes) {
+      const FunctionDef& d = graph->nodes()[static_cast<std::size_t>(node)].def;
+      if (module_of(d.file) != Module::kConsumer || !d.takes_pcg) continue;
+      out->push_back(
+          {path, toks[i].line, kRngDiscipline,
+           "protocol-module RNG reference may flow into consumer signature: "
+           "`" + graph->display(node) + "` (" + d.file + ":" +
+               std::to_string(d.line) +
+               ") takes util::Pcg32; fault/exp/bench randomness must stay "
+               "out of protocol lockstep — pass a hash_u64-keyed fork the "
+               "consumer owns instead",
+           "", false, false});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transitive rules (pass 2 with the pass-1 call graph)
+// ---------------------------------------------------------------------------
+
+// The properties a hot-path region must not *reach* and the rule each one
+// reports under. may-draw-rng is deliberately absent: floods draw protocol
+// randomness by design, so reaching an RNG draw from a hot region is legal.
+constexpr Prop kHotProps[3] = {Prop::kAllocate, Prop::kClock,
+                               Prop::kUnorderedIter};
+
+void rule_transitive_hot(const std::string& path, const std::vector<Tok>& toks,
+                         const Directives& dir, const CallGraph& graph,
+                         std::vector<Finding>* out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    int line = toks[i].line;
+    if (line >= static_cast<int>(dir.hot.size()) || !dir.hot[line]) continue;
+    const std::string& t = toks[i].text;
+    if (t.empty() || !is_ident_char(t[0]) ||
+        std::isdigit(static_cast<unsigned char>(t[0])))
+      continue;
+    if (is_cpp_keyword(t)) continue;
+    bool call = tok_at(toks, i + 1) == "(";
+    bool ref = false;
+    if (!call) {
+      // Address-taken / bare function reference handed onward from the hot
+      // region — the same widening the indexer applies, so a violation
+      // cannot hide behind a function pointer.
+      const std::string& prev = tok_at(toks, i - 1);
+      const std::string& next = tok_at(toks, i + 1);
+      bool addr = prev == "&" && i >= 2 &&
+                  (tok_at(toks, i - 2) == "(" || tok_at(toks, i - 2) == "," ||
+                   tok_at(toks, i - 2) == "=");
+      bool bare = (prev == "(" || prev == "," || prev == "=") &&
+                  (next == "," || next == ")" || next == ";");
+      ref = addr || bare;
+    }
+    if (!call && !ref) continue;
+    const std::vector<int>* nodes = graph.lookup(t);
+    if (nodes == nullptr) continue;
+    for (int node : *nodes) {
+      for (Prop p : kHotProps) {
+        if (!graph.has(node, p)) continue;
+        out->push_back(
+            {path, line, prop_rule(p),
+             std::string("hot-path region reaches `") + prop_name(p) +
+                 (call ? "` through call chain: "
+                       : "` through referenced function: ") +
+                 graph.chain(node, p),
+             "", false, false});
+      }
+    }
+  }
+}
+
+// Every `pure(<prop>)` trust annotation that actually masks a propagated
+// property is reported as a suppressed finding at the definition: sanctioned
+// transitive violations stay visible in the JSON report, never hidden.
+void rule_trust_reports(const std::string& path, const CallGraph& graph,
+                        std::vector<Finding>* out) {
+  std::string np = norm_path(path);
+  const std::vector<CallGraph::Node>& nodes = graph.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const FunctionDef& d = nodes[i].def;
+    if (norm_path(d.file) != np) continue;
+    for (int p = 0; p < kNumProps; ++p) {
+      Prop pp = static_cast<Prop>(p);
+      if (!d.trusted[p] || !graph.raw_has(static_cast<int>(i), pp)) continue;
+      out->push_back(
+          {path, d.line, prop_rule(pp),
+           std::string("`pure(") + prop_name(pp) +
+               ")` trust annotation on `" + graph.display(static_cast<int>(i)) +
+               "` masks: " + graph.chain(static_cast<int>(i), pp),
+           "", /*suppressed=*/true, false});
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -680,20 +513,25 @@ void rule_nodiscard_result(const std::string& path,
 
 std::vector<Finding> scan_source(const std::string& path,
                                  const std::string& contents,
-                                 const Options& opt) {
+                                 const Options& opt, const CallGraph* graph) {
   std::vector<LineInfo> lines = split_channels(contents);
   std::vector<Tok> toks = tokenize(lines);
   Directives dir = scan_directives(path, lines);
 
   std::vector<Finding> out;
   rule_det_clock(path, toks, opt, &out);
-  rule_det_umap_iter(path, toks, &out);
+  detail_rule_det_umap_iter(path, toks, &out);
   rule_hot_no_alloc(path, toks, dir, &out);
   out.insert(out.end(), dir.region_errors.begin(), dir.region_errors.end());
   rule_fp_accumulate(path, toks, dir, &out);
   rule_simd_fp_order(path, toks, dir, &out);
   rule_err_swallow(path, toks, &out);
   rule_nodiscard_result(path, toks, opt, &out);
+  rule_rng_discipline(path, toks, graph, &out);
+  if (graph != nullptr) {
+    rule_transitive_hot(path, toks, dir, *graph, &out);
+    rule_trust_reports(path, *graph, &out);
+  }
 
   // Raw source lines (pre-blanking) for excerpts.
   std::vector<std::string> raw;
@@ -725,15 +563,49 @@ std::vector<Finding> scan_source(const std::string& path,
 
 std::vector<Finding> scan_file(const std::string& path,
                                const std::string& report_as,
-                               const Options& opt) {
+                               const Options& opt, const CallGraph* graph) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    return {{report_as.empty() ? path : report_as, 0, "io",
-             "cannot open file", "", false, false}};
+    Finding f{report_as.empty() ? path : report_as, 0, "io",
+              "cannot open file", "", false, false};
+    f.parse_error = true;
+    return {f};
   }
   std::stringstream ss;
   ss << in.rdbuf();
-  return scan_source(report_as.empty() ? path : report_as, ss.str(), opt);
+  return scan_source(report_as.empty() ? path : report_as, ss.str(), opt,
+                     graph);
+}
+
+std::vector<Finding> scan_sources(const std::vector<SourceFile>& files,
+                                  const Options& opt, const CallGraph* graph,
+                                  int jobs) {
+  if (jobs < 1) jobs = 1;
+  std::vector<std::vector<Finding>> slots(files.size());
+  std::atomic<std::size_t> next{0};
+  auto work = [&]() {
+    for (;;) {
+      std::size_t i = next.fetch_add(1);
+      if (i >= files.size()) return;
+      slots[i] = scan_source(files[i].path, files[i].contents, opt, graph);
+    }
+  };
+  std::size_t n = std::min<std::size_t>(static_cast<std::size_t>(jobs),
+                                        files.size());
+  if (n <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (std::size_t w = 0; w < n; ++w) pool.emplace_back(work);
+    for (std::thread& th : pool) th.join();
+  }
+  // Merge in input order: the report is byte-identical for any `jobs`.
+  std::vector<Finding> out;
+  for (std::vector<Finding>& s : slots)
+    out.insert(out.end(), std::make_move_iterator(s.begin()),
+               std::make_move_iterator(s.end()));
+  return out;
 }
 
 std::uint64_t fnv1a(const std::string& s) {
@@ -745,10 +617,25 @@ std::uint64_t fnv1a(const std::string& s) {
   return h;
 }
 
+std::string normalize_ws(const std::string& s) {
+  std::string out;
+  bool pending = false;
+  for (char c : s) {
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      pending = !out.empty();
+      continue;
+    }
+    if (pending) out += ' ';
+    pending = false;
+    out += c;
+  }
+  return out;
+}
+
 std::string baseline_key(const Finding& f) {
   std::ostringstream os;
   os << norm_path(f.file) << "|" << f.rule << "|" << std::hex
-     << fnv1a(f.excerpt);
+     << fnv1a(normalize_ws(f.excerpt));
   return os.str();
 }
 
@@ -776,6 +663,61 @@ bool has_active(const std::vector<Finding>& findings) {
   return false;
 }
 
+bool write_file_atomic(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Make the rename itself durable.
+  std::size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return true;
+}
+
+bool update_baseline(const std::vector<Finding>& findings,
+                     const std::string& path) {
+  for (const Finding& f : findings)
+    if (f.parse_error) return false;
+  // Everything unsuppressed goes in: active findings get accepted, findings
+  // already baselined keep their entry. std::set sorts and dedups.
+  std::set<std::string> keys;
+  for (const Finding& f : findings)
+    if (!f.suppressed) keys.insert(baseline_key(f));
+  std::ostringstream os;
+  os << "# dimmer-lint baseline — regenerate with `dimmer-lint "
+        "--update-baseline`.\n"
+     << "# One `path|rule|hash` key per line; the hash covers the "
+        "whitespace-normalized\n"
+     << "# finding excerpt, so pure reformatting does not churn keys.\n";
+  for (const std::string& k : keys) os << k << "\n";
+  return write_file_atomic(path, os.str());
+}
+
 std::string json_report(std::vector<Finding> findings) {
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {
@@ -797,7 +739,7 @@ std::string json_report(std::vector<Finding> findings) {
     }
   }
   std::ostringstream os;
-  os << "{\n  \"tool\": \"dimmer-lint\",\n  \"version\": 1,\n  \"rules\": [\n";
+  os << "{\n  \"tool\": \"dimmer-lint\",\n  \"version\": 2,\n  \"rules\": [\n";
   for (std::size_t i = 0; i < rules().size(); ++i) {
     const Rule& r = rules()[i];
     os << "    {\"id\": " << util::json_quote(r.id)

@@ -5,8 +5,16 @@
 // by *dynamic* bit-identity checks (jobs=1 vs jobs=8 JSON diffs, RNG-lockstep
 // tests, the differential flood suite). dimmer-lint proves the same
 // invariants *statically*: a token-level scanner (comment/string aware, no
-// full AST) over src/, bench/ and examples/ that flags the constructs those
-// dynamic tests exist to catch, before CI ever runs a simulation.
+// full AST) over src/, bench/, examples/ and tools/ that flags the constructs
+// those dynamic tests exist to catch, before CI ever runs a simulation.
+//
+// The tool runs two passes. Pass 1 (index.hpp) extracts every function
+// definition into a repo-wide call graph and fixpoint-propagates the
+// transitive properties may-allocate / may-touch-clock /
+// may-iterate-unordered / may-draw-rng. Pass 2 runs the per-file rules below;
+// when a call graph is supplied, the hot-path and determinism rules also fire
+// on *transitive* violations — a hot region that reaches an allocating
+// function through any call chain — and the finding text names the chain.
 //
 // Rules (each individually suppressible):
 //
@@ -16,12 +24,16 @@
 //                    src/util/.  All randomness must flow through forked
 //                    util::Pcg32 streams; all timing through util/wallclock
 //                    (reporting only, stripped from byte-identity diffs).
+//                    With a call graph: also fires when a hot-path region
+//                    reaches a clock read through a call chain.
 //
 //   det-umap-iter    Range-for / begin() traversal of a std::unordered_map
 //                    or std::unordered_set.  Iteration order is
 //                    implementation-defined, so any result or serialized
 //                    output derived from it is nondeterministic.  Use
 //                    std::map, a sorted key vector, or lookups only.
+//                    With a call graph: also fires transitively from hot
+//                    regions.
 //
 //   hot-no-alloc     new / make_unique / container-growing calls inside a
 //                    region bracketed by
@@ -30,7 +42,9 @@
 //                    These regions mark the PR 4 zero-allocation flood loop
 //                    and its workspace users; the allocation-counting test
 //                    (tests/flood/test_workspace.cpp) enforces the same
-//                    contract dynamically.
+//                    contract dynamically.  With a call graph: also fires
+//                    when the region *calls* (or passes a pointer to) a
+//                    function that may allocate, at any depth.
 //
 //   fp-accumulate    std::accumulate / std::reduce / std::transform_reduce /
 //                    std::inner_product calls.  Floating-point reduction
@@ -55,6 +69,27 @@
 //                    annotated `// dimmer-lint: simd-fp-order-ok` (same line
 //                    or the line above) and stays visible as suppressed.
 //
+//   rng-discipline   RNG forking and flow discipline (the PR 3/PR 8
+//                    invariant that fault and backoff randomness never
+//                    perturbs protocol lockstep).  (a) A `.fork(...)` /
+//                    `->fork(...)` call on an RNG object must carry a
+//                    `hash_u64`-keyed tag so stream identity is a pure
+//                    function of (parent seed, tag), never of draw order or
+//                    loop position.  (b) With a call graph: code in the
+//                    protocol modules (src/core/, src/lwb/, src/flood/,
+//                    src/rl/) must not call a function *defined* in a
+//                    consumer module (src/fault/, src/exp/, bench/) whose
+//                    signature takes a util::Pcg32 — handing a protocol
+//                    stream across that boundary is how consumer draws end
+//                    up interleaved into protocol lockstep.
+//
+// Trust annotation: `// dimmer-lint: pure(<prop>[, <prop>...])` on a
+// function's signature line (or the line above) stops the named transitive
+// property from propagating to callers (e.g. capacity-recycling `assign`
+// audited by the dynamic allocation counter). The annotation is itself
+// reported as a *suppressed* finding at the definition whenever it actually
+// masks a propagated property — sanctioned, visible, never hidden.
+//
 // Suppression:
 //   // NOLINT-DIMMER              suppress every rule on this line
 //   // NOLINT-DIMMER(rule[,rule]) suppress the named rules on this line
@@ -72,6 +107,8 @@
 #include <vector>
 
 namespace dimmer::lint {
+
+class CallGraph;  // index.hpp
 
 /// One lint rule, as listed by `dimmer-lint --list-rules` and in the JSON
 /// report.
@@ -96,34 +133,62 @@ struct Finding {
   std::string excerpt;      ///< trimmed source line
   bool suppressed = false;  ///< hit an inline NOLINT-DIMMER annotation
   bool baselined = false;   ///< matched the baseline file
+  /// The finding reports the *scan itself* going wrong (unreadable file,
+  /// unbalanced hot-path region) rather than a code-level violation. A report
+  /// containing parse errors cannot be trusted as a complete picture, so
+  /// update_baseline refuses to snapshot it.
+  bool parse_error = false;
 };
 
 /// Scanner configuration. Defaults encode this repo's policy.
 struct Options {
   /// Path prefixes (after '\' -> '/' normalization) where det-clock is
-  /// allowed: the wall-clock wrapper itself, and the lint tool.
-  std::vector<std::string> clock_exempt_prefixes = {"src/util/", "tools/"};
+  /// allowed: only the audited wall-clock wrapper seam itself. The lint tool
+  /// is *not* exempt — it lints itself in CI.
+  std::vector<std::string> clock_exempt_prefixes = {"src/util/"};
   /// Result types that must be declared [[nodiscard]].
   std::vector<std::string> nodiscard_types = {"FloodResult", "TrialResult",
                                               "RoundResult"};
 };
 
 /// Scans one translation unit. `path` is used for reporting and for the
-/// path-scoped rules (det-clock exemptions); `contents` is the source text.
-/// Findings are ordered by line.
+/// path-scoped rules (det-clock exemptions, rng-discipline modules);
+/// `contents` is the source text. When `graph` is non-null the transitive
+/// rules run too. Findings are ordered by line.
 std::vector<Finding> scan_source(const std::string& path,
                                  const std::string& contents,
-                                 const Options& opt = Options());
+                                 const Options& opt = Options(),
+                                 const CallGraph* graph = nullptr);
 
 /// Reads `path` from disk and scans it. `report_as`, if non-empty, replaces
 /// `path` in the findings (used to keep report paths repo-relative).
 std::vector<Finding> scan_file(const std::string& path,
                                const std::string& report_as = "",
-                               const Options& opt = Options());
+                               const Options& opt = Options(),
+                               const CallGraph* graph = nullptr);
 
-/// Stable baseline key: "path|rule|fnv1a(trimmed excerpt)". Content-hashed
-/// rather than line-numbered so unrelated edits above a baselined finding do
-/// not invalidate it.
+/// One in-memory source file for the batch scanner.
+struct SourceFile {
+  std::string path;  ///< reported verbatim in findings
+  std::string contents;
+};
+
+/// Scans every file, fanning pass 2 out across `jobs` worker threads.
+/// Files are scanned independently and results merged in input order, so the
+/// output — and therefore the JSON report — is byte-identical for any `jobs`.
+std::vector<Finding> scan_sources(const std::vector<SourceFile>& files,
+                                  const Options& opt = Options(),
+                                  const CallGraph* graph = nullptr,
+                                  int jobs = 1);
+
+/// Collapses every run of whitespace in `s` to a single space and trims both
+/// ends (exposed for tests).
+std::string normalize_ws(const std::string& s);
+
+/// Stable baseline key: "path|rule|fnv1a(whitespace-normalized excerpt)".
+/// Content-hashed rather than line-numbered so unrelated edits above a
+/// baselined finding do not invalidate it, and whitespace-normalized so pure
+/// reformatting (re-indentation) does not churn keys.
 std::string baseline_key(const Finding& f);
 
 /// Parses a baseline file: one key per line, '#' comments and blank lines
@@ -137,6 +202,19 @@ void apply_baseline(std::vector<Finding>& findings,
 /// True if any finding is active (neither suppressed nor baselined) — the
 /// process exit criterion.
 bool has_active(const std::vector<Finding>& findings);
+
+/// Writes `data` to `path` atomically: sibling temp file, fsync, rename over
+/// the target, then fsync the parent directory (util/atomic_file semantics,
+/// re-implemented here so the tool stays standalone). Returns false and
+/// leaves any existing `path` untouched on failure.
+bool write_file_atomic(const std::string& path, const std::string& data);
+
+/// Snapshots the current unsuppressed findings as a sorted, deduped baseline
+/// file, written atomically. Refuses (returns false, touches nothing) when
+/// any finding is a parse error — a broken scan must not be immortalized as
+/// the accepted state.
+bool update_baseline(const std::vector<Finding>& findings,
+                     const std::string& path);
 
 /// Machine-readable report: rule table, per-rule active counts, and every
 /// finding (including suppressed/baselined ones, flagged as such). Output is

@@ -2,7 +2,9 @@
 //
 // Usage:
 //   dimmer-lint [--root DIR] [--baseline FILE] [--json FILE]
-//               [--write-baseline FILE] [--list-rules] [--quiet]
+//               [--index-cache FILE] [--jobs N]
+//               [--update-baseline] [--write-baseline FILE]
+//               [--list-rules] [--quiet]
 //               <file-or-directory>...
 //
 // Directories are scanned recursively for .cpp/.cc/.hpp/.h files (build
@@ -10,21 +12,41 @@
 // JSON report are made relative to --root (default: the current directory)
 // so reports are machine-independent and baseline keys are stable.
 //
+// Two passes over the collected files:
+//   1. index: every file is function-extracted into the cross-TU call graph
+//      (index.hpp). With --index-cache, per-file indexes are reused when the
+//      file's content hash matches and the merged index is written back
+//      atomically — a warm cache changes nothing but wall time.
+//   2. rules: the per-file rules plus the transitive/taint rules run against
+//      the graph, fanned out over --jobs threads. Results merge in file
+//      order, so the report is byte-identical for any --jobs value.
+//
+// --update-baseline snapshots the current unsuppressed findings into the
+// --baseline file (sorted, deduped, written atomically) and exits 0; it
+// refuses — exit 2, baseline untouched — when the scan itself reported
+// errors (unreadable file, unbalanced hot-path region).
+//
 // Exit status: 0 if every finding is suppressed or baselined, 1 otherwise,
 // 2 on usage errors. CI runs:
 //   dimmer-lint --root . --baseline tools/dimmer-lint/baseline.txt
-//               --json lint-report.json src bench examples
+//               --json lint-report.json --index-cache lint-index.txt
+//               --jobs 4 src bench examples tools
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "index.hpp"
 #include "lint.hpp"
 
 namespace fs = std::filesystem;
+using dimmer::lint::FileIndex;
 using dimmer::lint::Finding;
+using dimmer::lint::SourceFile;
 
 namespace {
 
@@ -79,8 +101,9 @@ std::string relative_to(const fs::path& p, const fs::path& root) {
 int usage(int code) {
   std::cerr
       << "usage: dimmer-lint [--root DIR] [--baseline FILE] [--json FILE]\n"
-         "                   [--write-baseline FILE] [--list-rules] "
-         "[--quiet] <path>...\n";
+         "                   [--index-cache FILE] [--jobs N]\n"
+         "                   [--update-baseline] [--write-baseline FILE]\n"
+         "                   [--list-rules] [--quiet] <path>...\n";
   return code;
 }
 
@@ -88,7 +111,9 @@ int usage(int code) {
 
 int main(int argc, char** argv) {
   std::string root = ".", baseline_path, json_path, write_baseline_path;
-  bool list_rules = false, quiet = false;
+  std::string index_cache_path;
+  bool list_rules = false, quiet = false, update_baseline = false;
+  int jobs = 1;
   std::vector<std::string> inputs;
 
   for (int i = 1; i < argc; ++i) {
@@ -106,6 +131,20 @@ int main(int argc, char** argv) {
       baseline_path = next();
     else if (a == "--json")
       json_path = next();
+    else if (a == "--index-cache")
+      index_cache_path = next();
+    else if (a == "--jobs") {
+      try {
+        jobs = std::stoi(next());
+      } catch (const std::exception&) {
+        jobs = 0;
+      }
+      if (jobs < 1) {
+        std::cerr << "dimmer-lint: --jobs needs a positive integer\n";
+        return 2;
+      }
+    } else if (a == "--update-baseline")
+      update_baseline = true;
     else if (a == "--write-baseline")
       write_baseline_path = next();
     else if (a == "--list-rules")
@@ -125,28 +164,110 @@ int main(int argc, char** argv) {
   if (list_rules) {
     for (const auto& r : dimmer::lint::rules())
       std::cout << r.id << "\n    " << r.summary << "\n";
+    std::cout
+        << "annotations\n"
+           "    // dimmer-lint: hot-path begin|end   bracket a zero-alloc "
+           "region\n"
+           "    // dimmer-lint: fp-order-ok          sanction one fp "
+           "reduction\n"
+           "    // dimmer-lint: simd-fp-order-ok     sanction one lane "
+           "reduction\n"
+           "    // dimmer-lint: pure(<prop>)         stop a transitive "
+           "property at this\n"
+           "                                         function (reported as "
+           "suppressed);\n"
+           "                                         props: may-allocate, "
+           "may-touch-clock,\n"
+           "                                         may-iterate-unordered, "
+           "may-draw-rng\n"
+           "    // NOLINT-DIMMER[(rule,...)]         suppress on this line\n"
+           "    // NOLINTNEXTLINE-DIMMER[(rule,...)] suppress on the next "
+           "line\n";
     if (inputs.empty()) return 0;
   }
   if (inputs.empty()) return usage(2);
+  if (update_baseline && baseline_path.empty()) {
+    std::cerr << "dimmer-lint: --update-baseline needs --baseline FILE\n";
+    return 2;
+  }
 
   // Relative inputs are resolved against --root, so the CLI behaves the same
   // from any working directory (CI runs from the repo root; the CMake `lint`
   // target runs from the build tree).
-  std::vector<fs::path> files;
+  std::vector<fs::path> paths;
   bool inputs_ok = true;
   for (const std::string& in : inputs) {
     fs::path p(in);
     if (p.is_relative() && !fs::exists(p)) p = fs::path(root) / p;
-    inputs_ok = collect(p, &files) && inputs_ok;
+    inputs_ok = collect(p, &paths) && inputs_ok;
   }
   if (!inputs_ok) return 2;
 
-  dimmer::lint::Options opt;
+  // Read every file once; both passes work from the same bytes. Unreadable
+  // files become parse-error findings so they fail the run (and block
+  // --update-baseline) instead of silently shrinking the scan.
+  std::vector<SourceFile> files;
   std::vector<Finding> findings;
-  for (const fs::path& f : files) {
-    std::vector<Finding> fs_ =
-        dimmer::lint::scan_file(f.string(), relative_to(f, root), opt);
-    findings.insert(findings.end(), fs_.begin(), fs_.end());
+  for (const fs::path& f : paths) {
+    std::string rel = relative_to(f, root);
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      Finding err{rel, 0, "io", "cannot open file", "", false, false};
+      err.parse_error = true;
+      findings.push_back(err);
+      continue;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    files.push_back({rel, ss.str()});
+  }
+
+  // Pass 1: per-file function indexes (cache-reused by content hash), merged
+  // into the cross-TU call graph. Cached entries for files that no longer
+  // exist are dropped on the rewrite.
+  std::map<std::string, FileIndex> cached;
+  if (!index_cache_path.empty()) {
+    std::ifstream in(index_cache_path, std::ios::binary);
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      std::vector<FileIndex> entries;
+      // An unparsable (old-version, truncated) cache degrades to a full
+      // re-extraction, never to a wrong graph.
+      if (dimmer::lint::parse_index(ss.str(), &entries))
+        for (FileIndex& fi : entries) cached[fi.file] = std::move(fi);
+    }
+  }
+  std::vector<FileIndex> index;
+  index.reserve(files.size());
+  for (const SourceFile& sf : files) {
+    auto it = cached.find(sf.path);
+    index.push_back(dimmer::lint::index_or_reuse(
+        sf.path, sf.contents, it == cached.end() ? nullptr : &it->second));
+  }
+  if (!index_cache_path.empty() &&
+      !dimmer::lint::write_file_atomic(index_cache_path,
+                                       dimmer::lint::serialize_index(index)))
+    std::cerr << "dimmer-lint: warning: cannot write index cache "
+              << index_cache_path << "\n";
+  dimmer::lint::CallGraph graph = dimmer::lint::build_call_graph(index);
+
+  // Pass 2: the rules, with transitive knowledge, across --jobs threads.
+  dimmer::lint::Options opt;
+  std::vector<Finding> scanned =
+      dimmer::lint::scan_sources(files, opt, &graph, jobs);
+  findings.insert(findings.end(), scanned.begin(), scanned.end());
+
+  if (update_baseline) {
+    if (!dimmer::lint::update_baseline(findings, baseline_path)) {
+      std::cerr << "dimmer-lint: refusing to update baseline: the report "
+                   "contains parse errors (or the write failed); fix the "
+                   "scan first\n";
+      return 2;
+    }
+    if (!quiet)
+      std::cerr << "dimmer-lint: baseline updated: " << baseline_path << "\n";
+    return 0;
   }
 
   if (!baseline_path.empty())
@@ -169,17 +290,11 @@ int main(int argc, char** argv) {
                 << f.message << "\n    " << f.excerpt << "\n";
   }
 
-  if (!write_baseline_path.empty()) {
-    std::vector<std::string> keys;
-    for (const Finding& f : findings)
-      if (!f.suppressed) keys.push_back(dimmer::lint::baseline_key(f));
-    std::sort(keys.begin(), keys.end());
-    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-    std::ofstream out(write_baseline_path);
-    out << "# dimmer-lint baseline: one `path|rule|excerpt-hash` key per "
-           "line.\n# Regenerate with --write-baseline; keep this empty — fix "
-           "or NOLINT-DIMMER new findings instead.\n";
-    for (const std::string& k : keys) out << k << "\n";
+  if (!write_baseline_path.empty() &&
+      !dimmer::lint::update_baseline(findings, write_baseline_path)) {
+    std::cerr << "dimmer-lint: refusing to write baseline: the report "
+                 "contains parse errors (or the write failed)\n";
+    return 2;
   }
 
   if (!json_path.empty()) {
